@@ -1,0 +1,237 @@
+// Command csecg-bench regenerates the paper's tables and figures on the
+// substitute database and prints them as aligned text tables.
+//
+// Usage:
+//
+//	csecg-bench -exp all                 # everything (default subset of records)
+//	csecg-bench -exp fig2,fig7           # selected experiments
+//	csecg-bench -exp fig6 -all48         # full 48-record database
+//	csecg-bench -exp lifetime -seconds 60
+//	csecg-bench -exp fig7 -format csv    # machine-readable output
+//
+// Paper experiments: fig2, fig6, fig7, encoder, memory, speedup, cpu,
+// lifetime, convergence. Extensions: resilience, baseline, analog,
+// diagnostic, holter-report. Ablations: ablation-basis,
+// ablation-wavelet, ablation-solver, ablation-redundancy,
+// ablation-huffman, ablation-shift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"csecg/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		all48   = flag.Bool("all48", false, "use the full 48-record database (slow)")
+		seconds = flag.Float64("seconds", 0, "seconds of signal per record (default 24)")
+		records = flag.String("records", "", "comma-separated record IDs (overrides the default subset)")
+		format  = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "csecg-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{SecondsPerRecord: *seconds}
+	if *all48 {
+		opt.Records = experiments.AllRecords()
+	}
+	if *records != "" {
+		opt.Records = strings.Split(*records, ",")
+	}
+
+	type runner struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}
+	runners := []runner{
+		{"fig2", func() (*experiments.Table, error) {
+			r, err := experiments.Fig2(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig6", func() (*experiments.Table, error) {
+			r, err := experiments.Fig6(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig7", func() (*experiments.Table, error) {
+			r, err := experiments.Fig7(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"encoder", func() (*experiments.Table, error) {
+			r, err := experiments.Encoder(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"memory", func() (*experiments.Table, error) {
+			r, err := experiments.Memory()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"speedup", func() (*experiments.Table, error) {
+			r, err := experiments.Speedup()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"cpu", func() (*experiments.Table, error) {
+			r, err := experiments.CPU(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"lifetime", func() (*experiments.Table, error) {
+			r, err := experiments.Lifetime(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"convergence", func() (*experiments.Table, error) {
+			r, err := experiments.Convergence(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"resilience", func() (*experiments.Table, error) {
+			r, err := experiments.Resilience(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"baseline", func() (*experiments.Table, error) {
+			r, err := experiments.Baseline(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"analog", func() (*experiments.Table, error) {
+			r, err := experiments.Analog(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"holter-report", func() (*experiments.Table, error) {
+			r, err := experiments.HolterReport(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"diagnostic", func() (*experiments.Table, error) {
+			r, err := experiments.Diagnostic(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-basis", func() (*experiments.Table, error) {
+			r, err := experiments.BasisAblation(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-wavelet", func() (*experiments.Table, error) {
+			r, err := experiments.WaveletAblation(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-solver", func() (*experiments.Table, error) {
+			r, err := experiments.SolverAblation(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-redundancy", func() (*experiments.Table, error) {
+			r, err := experiments.RedundancyAblation(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-shift", func() (*experiments.Table, error) {
+			r, err := experiments.ShiftAblation(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-huffman", func() (*experiments.Table, error) {
+			r, err := experiments.HuffmanAblation()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+
+	want := map[string]bool{}
+	runAll := *expFlag == "all"
+	if !runAll {
+		for _, name := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "csecg-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	exit := 0
+	for _, r := range runners {
+		if !runAll && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		table, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-bench: %s: %v\n", r.name, err)
+			exit = 1
+			continue
+		}
+		if *format == "csv" {
+			fmt.Print(table.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(table.Render())
+			fmt.Printf("(%s took %.1fs)\n\n", r.name, time.Since(start).Seconds())
+		}
+	}
+	os.Exit(exit)
+}

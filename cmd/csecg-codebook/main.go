@@ -1,0 +1,115 @@
+// Command csecg-codebook trains the encoder's Huffman codebook offline,
+// exactly as the paper's authors did before flashing the mote: it
+// collects the measurement-difference histogram over a training corpus
+// of records and emits the serialized 1.5 kB codebook blob.
+//
+// Usage:
+//
+//	csecg-codebook -out codebook.bin                 # model-histogram codebook
+//	csecg-codebook -out codebook.bin -records 100,200 -seconds 120
+//	csecg-codebook -stats                            # print rate statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csecg"
+	"csecg/internal/core"
+	"csecg/internal/ecg"
+	"csecg/internal/huffman"
+	"csecg/internal/metrics"
+	"csecg/internal/sensing"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output file for the serialized codebook")
+		records = flag.String("records", "", "training record IDs (empty: analytic difference model)")
+		seconds = flag.Float64("seconds", 60, "training seconds per record")
+		cr      = flag.Float64("cr", 50, "CS compression ratio used during histogram collection")
+		stats   = flag.Bool("stats", false, "print expected-rate statistics")
+	)
+	flag.Parse()
+
+	freq, err := histogram(*records, *seconds, *cr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-codebook: %v\n", err)
+		os.Exit(1)
+	}
+	cb, err := huffman.Train(freq)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-codebook: training: %v\n", err)
+		os.Exit(1)
+	}
+	blob := cb.Serialize()
+	fmt.Printf("codebook: %d symbols, max codeword %d bits, %.2f avg bits/symbol, %d bytes serialized\n",
+		cb.NumSymbols(), cb.MaxLen(), cb.ExpectedBits(freq), len(blob))
+	if *stats {
+		for _, s := range []int{0, 128, 255, 256, 257, 384, 511} {
+			fmt.Printf("  symbol %3d (diff %+4d): %2d bits\n", s, s-256, cb.CodeLen(s))
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-codebook: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// histogram collects measurement-difference symbol frequencies from the
+// training records, or returns the analytic model when none are given.
+func histogram(records string, seconds, cr float64) ([]int, error) {
+	if records == "" {
+		return csecg.DiffHistogramModel(20), nil
+	}
+	freq := make([]int, core.NumDiffSymbols)
+	for i := range freq {
+		freq[i] = 1 // add-one smoothing keeps the codebook complete
+	}
+	m := metrics.MForCR(cr, core.WindowSize)
+	phi, err := sensing.NewSparseBinaryLCG(m, core.WindowSize, core.DefaultColumnWeight, 0xCB)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range strings.Split(records, ",") {
+		rec, err := ecg.RecordByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		samples, err := rec.Channel256(seconds, 0)
+		if err != nil {
+			return nil, err
+		}
+		prev := make([]int32, m)
+		y := make([]int32, m)
+		cent := make([]int16, core.WindowSize)
+		first := true
+		for o := 0; o+core.WindowSize <= len(samples); o += core.WindowSize {
+			for i := 0; i < core.WindowSize; i++ {
+				cent[i] = samples[o+i] - core.ADCBaseline
+			}
+			phi.MeasureInt(y, cent)
+			for i := range y {
+				y[i] = (y[i] + 1<<(core.DefaultMeasurementShift-1)) >> core.DefaultMeasurementShift
+			}
+			if !first {
+				for i := range y {
+					d := y[i] - prev[i]
+					if d >= -core.NumDiffSymbols/2 && d < core.NumDiffSymbols/2-1 {
+						freq[int(d)+core.NumDiffSymbols/2]++
+					} else {
+						freq[core.EscapeSymbol]++
+					}
+				}
+			}
+			first = false
+			copy(prev, y)
+		}
+	}
+	return freq, nil
+}

@@ -1,0 +1,143 @@
+// Command csecg-decode reconstructs a packet stream produced by
+// csecg-encode and reports the recovery quality against the original
+// record — the tool equivalent of the paper's iPhone decoder.
+//
+// The pipeline parameters (seed, CR, record) must match the encoder's;
+// they are not carried in the stream, exactly as the mote and
+// coordinator share them out of band.
+//
+// Usage:
+//
+//	csecg-decode -in stream.bin -record 100 -seconds 60 -cr 50
+//	csecg-decode -in stream.bin -record 100 -cr 50 -bits 64 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csecg"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "packet stream file (required)")
+		record  = flag.String("record", "100", "record ID the stream was encoded from")
+		channel = flag.Int("channel", 0, "record channel")
+		seconds = flag.Float64("seconds", 60, "seconds that were encoded")
+		cr      = flag.Float64("cr", 50, "CS compression ratio used by the encoder")
+		seed    = flag.Uint("seed", 0xBEEF, "sensing-matrix seed used by the encoder")
+		bits    = flag.Int("bits", 32, "decoder precision: 32 (real-time build) or 64 (reference)")
+		csvPath = flag.String("csv", "", "write original,reconstruction sample pairs as CSV")
+	)
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("missing -in"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	rec, err := csecg.RecordByID(*record)
+	if err != nil {
+		fail(err)
+	}
+	ref, err := rec.Channel256(*seconds, *channel)
+	if err != nil {
+		fail(err)
+	}
+	params := csecg.Params{Seed: uint16(*seed), M: csecg.MForCR(*cr, csecg.WindowSize)}
+
+	var decode func(pkt *csecg.Packet) ([]int16, int, error)
+	switch *bits {
+	case 32:
+		dec, err := csecg.NewDecoder32(params)
+		if err != nil {
+			fail(err)
+		}
+		decode = func(pkt *csecg.Packet) ([]int16, int, error) {
+			r, err := dec.DecodePacket(pkt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Samples, r.Iterations, nil
+		}
+	case 64:
+		dec, err := csecg.NewDecoder64(params)
+		if err != nil {
+			fail(err)
+		}
+		decode = func(pkt *csecg.Packet) ([]int16, int, error) {
+			r, err := dec.DecodePacket(pkt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Samples, r.Iterations, nil
+		}
+	default:
+		fail(fmt.Errorf("bits must be 32 or 64"))
+	}
+
+	var csv *strings.Builder
+	if *csvPath != "" {
+		csv = &strings.Builder{}
+		csv.WriteString("sample,original,reconstruction\n")
+	}
+	var windows, iterSum, sampleIdx int
+	var sumPRDN float64
+	var prCount int
+	for len(data) > 0 {
+		pkt, n, err := csecg.UnmarshalPacket(data)
+		if err != nil {
+			fail(fmt.Errorf("parsing packet %d: %w", windows, err))
+		}
+		data = data[n:]
+		samples, iters, err := decode(pkt)
+		if err != nil {
+			fail(fmt.Errorf("decoding packet %d: %w", windows, err))
+		}
+		iterSum += iters
+		base := windows * csecg.WindowSize
+		if base+csecg.WindowSize <= len(ref) {
+			orig := make([]float64, csecg.WindowSize)
+			reco := make([]float64, csecg.WindowSize)
+			for i := 0; i < csecg.WindowSize; i++ {
+				orig[i] = float64(ref[base+i])
+				reco[i] = float64(samples[i])
+				if csv != nil {
+					fmt.Fprintf(csv, "%d,%d,%d\n", sampleIdx, ref[base+i], samples[i])
+					sampleIdx++
+				}
+			}
+			if windows > 0 { // skip cold-start window in the statistics
+				if prdn, err := csecg.PRDN(orig, reco); err == nil {
+					sumPRDN += prdn
+					prCount++
+				}
+			}
+		}
+		windows++
+	}
+	if windows == 0 {
+		fail(fmt.Errorf("empty stream"))
+	}
+	fmt.Printf("decoded %d packets with the %d-bit build\n", windows, *bits)
+	fmt.Printf("  mean iterations/packet: %.0f\n", float64(iterSum)/float64(windows))
+	if prCount > 0 {
+		mean := sumPRDN / float64(prCount)
+		fmt.Printf("  mean PRDN: %.2f%%  (SNR %.1f dB)\n", mean, csecg.SNR(mean))
+	}
+	if csv != nil {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  samples written to %s\n", *csvPath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "csecg-decode: %v\n", err)
+	os.Exit(1)
+}

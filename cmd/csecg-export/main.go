@@ -1,0 +1,72 @@
+// Command csecg-export writes substitute-database records to disk in
+// the MIT-BIH physical format (format-212 .dat, .hea header, .atr
+// ground-truth beat annotations), so the synthetic data can be examined
+// with standard WFDB tooling or swapped for the real database.
+//
+// Usage:
+//
+//	csecg-export -records 100,208 -seconds 60 -dir ./out
+//	csecg-export -all -seconds 1800 -dir ./mitdb-substitute   # full records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csecg/internal/ecg"
+	"csecg/internal/wfdb"
+)
+
+func main() {
+	var (
+		records = flag.String("records", "100", "comma-separated record IDs")
+		all     = flag.Bool("all", false, "export all 48 records")
+		seconds = flag.Float64("seconds", 60, "seconds per record (1800 = full half hour)")
+		dir     = flag.String("dir", ".", "output directory")
+	)
+	flag.Parse()
+
+	var ids []string
+	if *all {
+		for _, r := range ecg.Database() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*records, ",")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fail(err)
+	}
+	spec := wfdb.SignalSpec{
+		Gain: ecg.ADCGain, Baseline: ecg.ADCBaseline, Units: "mV",
+		ADCRes: ecg.ADCBits, ADCZero: ecg.ADCBaseline,
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		rec, err := ecg.RecordByID(id)
+		if err != nil {
+			fail(err)
+		}
+		sig, err := rec.Synthesize(*seconds)
+		if err != nil {
+			fail(err)
+		}
+		ch0 := ecg.Digitize(sig.MV[0])
+		ch1 := ecg.Digitize(sig.MV[1])
+		if err := wfdb.WriteRecord(*dir, id, ecg.FsMITBIH, ch0, ch1, spec, [2]string{"MLII", "V1"}); err != nil {
+			fail(fmt.Errorf("record %s: %w", id, err))
+		}
+		if err := wfdb.WriteAnnotations(*dir, id, wfdb.AnnotationsFromSignal(sig)); err != nil {
+			fail(fmt.Errorf("record %s annotations: %w", id, err))
+		}
+		fmt.Printf("wrote %s: %d samples/channel, %d beats (%s)\n",
+			id, len(ch0), len(sig.Ann), rec.Description)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "csecg-export: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Package csecg is a complete Go implementation of the real-time
+// compressed-sensing ECG monitoring system of Kanoun, Mamaghanian,
+// Khaled and Atienza (DATE 2011): a computationally light CS encoder
+// suited to a 16-bit wireless sensor mote, and a real-time FISTA-based
+// reconstruction decoder suited to a smartphone-class WBSN coordinator.
+//
+// The pipeline compresses 2-second windows (512 samples at 256 Hz) in
+// three integer-only stages — sparse binary CS measurement, inter-packet
+// redundancy removal, canonical length-limited Huffman coding — and
+// reconstructs them by solving min ‖α‖₁ s.t. ‖ΦΨα − y‖₂ ≤ σ with FISTA
+// over a matrix-free ΦΨ operator (Φ a sparse binary sensing matrix, Ψ an
+// orthonormal Daubechies wavelet basis).
+//
+// Quick start:
+//
+//	params := csecg.Params{Seed: 42, M: csecg.MForCR(50, csecg.WindowSize)}
+//	enc, _ := csecg.NewEncoder(params)
+//	dec, _ := csecg.NewDecoder32(params)
+//	pkt, _ := enc.EncodeWindow(window)   // []int16, 512 raw ADC samples
+//	out, _ := dec.DecodePacket(pkt)      // out.Samples is the reconstruction
+//
+// Evaluation data comes from a deterministic synthetic substitute for
+// the MIT-BIH Arrhythmia Database (see Database), and platform behaviour
+// (MSP430-class mote cycles/memory, Cortex-A8 VFP/NEON decode time,
+// Bluetooth airtime, battery lifetime) is modeled by the Mote,
+// coordinator and energy APIs. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-versus-measured record.
+package csecg
+
+import (
+	"csecg/internal/coordinator"
+	"csecg/internal/core"
+	"csecg/internal/ecg"
+	"csecg/internal/energy"
+	"csecg/internal/huffman"
+	"csecg/internal/link"
+	"csecg/internal/metrics"
+	"csecg/internal/mote"
+)
+
+// Pipeline constants (see the paper, Section IV).
+const (
+	// FsMote is the encoder's input sample rate in Hz.
+	FsMote = core.FsMote
+	// WindowSize is the samples per packet (2 seconds at 256 Hz).
+	WindowSize = core.WindowSize
+	// DefaultColumnWeight is the sensing matrix column weight d = 12.
+	DefaultColumnWeight = core.DefaultColumnWeight
+)
+
+// Core pipeline types.
+type (
+	// Params configures an encoder/decoder pair; both sides must agree.
+	Params = core.Params
+	// Packet is one encoded 2-second window.
+	Packet = core.Packet
+	// Encoder is the mote-side integer-only compressor.
+	Encoder = core.Encoder
+	// Decoder32 is the float32 (smartphone-class) decoder.
+	Decoder32 = core.Decoder[float32]
+	// Decoder64 is the float64 (workstation reference) decoder.
+	Decoder64 = core.Decoder[float64]
+	// Codebook is a canonical length-limited Huffman codebook.
+	Codebook = huffman.Codebook
+)
+
+// Packet kinds.
+const (
+	KindKey   = core.KindKey
+	KindDelta = core.KindDelta
+)
+
+// NewEncoder builds the mote-side encoder.
+func NewEncoder(p Params) (*Encoder, error) { return core.NewEncoder(p) }
+
+// NewDecoder32 builds the float32 decoder (the paper's iPhone build).
+func NewDecoder32(p Params) (*Decoder32, error) { return core.NewDecoder[float32](p) }
+
+// NewDecoder64 builds the float64 decoder (the paper's Matlab reference).
+func NewDecoder64(p Params) (*Decoder64, error) { return core.NewDecoder[float64](p) }
+
+// MarshalPacket serializes a packet for the wire.
+func MarshalPacket(p *Packet) ([]byte, error) { return p.Marshal() }
+
+// UnmarshalPacket parses one packet, returning it and the bytes consumed.
+func UnmarshalPacket(data []byte) (*Packet, int, error) { return core.UnmarshalPacket(data) }
+
+// TrainCodebook builds a Huffman codebook from a difference-symbol
+// histogram over the 512-symbol alphabet (see DiffHistogramModel for the
+// stock shape).
+func TrainCodebook(freq []int) (*Codebook, error) { return huffman.Train(freq) }
+
+// DiffHistogramModel returns the two-sided-geometric model histogram the
+// stock codebook is trained on.
+func DiffHistogramModel(scale float64) []int { return core.DiffHistogramModel(scale) }
+
+// Evaluation data: the MIT-BIH substitute.
+type (
+	// Record is one synthetic database record.
+	Record = ecg.Record
+	// RecordConfig parameterizes signal synthesis.
+	RecordConfig = ecg.Config
+	// Signal is a rendered two-channel segment.
+	Signal = ecg.Signal
+	// Annotation marks one synthesized beat.
+	Annotation = ecg.Annotation
+)
+
+// Database returns the 48-record substitute for the MIT-BIH Arrhythmia
+// Database (deterministic, generated on demand).
+func Database() []Record { return ecg.Database() }
+
+// RecordByID fetches one substitute record ("100".."234").
+func RecordByID(id string) (Record, error) { return ecg.RecordByID(id) }
+
+// Metrics of Section III.
+var (
+	// CR is the compression ratio of Eq. (7) from bit counts.
+	CR = metrics.CR
+	// MForCR converts a target CS compression ratio into a measurement
+	// count for length-n windows.
+	MForCR = metrics.MForCR
+	// PRD is the percentage root-mean-square difference.
+	PRD = metrics.PRD
+	// PRDN is the mean-removed PRD.
+	PRDN = metrics.PRDN
+	// SNR converts PRD to the paper's output SNR in dB.
+	SNR = metrics.SNR
+)
+
+// Platform models.
+type (
+	// Mote is the instrumented MSP430-class encoder model.
+	Mote = mote.Model
+	// MoteReport is the per-window cost report.
+	MoteReport = mote.Report
+	// RealTimeDecoder is the Cortex-A8-class decoder model.
+	RealTimeDecoder = coordinator.RealTimeDecoder
+	// Link is the Bluetooth transport model.
+	Link = link.Link
+	// LinkConfig configures it.
+	LinkConfig = link.Config
+	// EnergyBudget is the battery/current model.
+	EnergyBudget = energy.Budget
+	// EnergyLoad is one radio/CPU duty operating point.
+	EnergyLoad = energy.Load
+)
+
+// Coordinator execution modes.
+const (
+	// ModeVFP is the scalar floating-point build.
+	ModeVFP = coordinator.VFP
+	// ModeNEON is the SIMD-optimized build (2.43× faster end to end).
+	ModeNEON = coordinator.NEON
+)
+
+// NewMote builds the instrumented mote encoder.
+func NewMote(p Params) (*Mote, error) { return mote.New(p) }
+
+// NewRealTimeDecoder builds the platform decoder with the mode's
+// real-time iteration budget.
+func NewRealTimeDecoder(p Params, mode coordinator.Mode) (*RealTimeDecoder, error) {
+	return coordinator.NewRealTimeDecoder(p, mode)
+}
+
+// NewLink builds a Bluetooth-class transport.
+func NewLink(cfg LinkConfig) (*Link, error) { return link.New(cfg) }
+
+// DefaultLinkConfig returns a clean 90 kbit/s serial-profile link.
+func DefaultLinkConfig() LinkConfig { return link.DefaultConfig() }
+
+// DefaultEnergyBudget returns Shimmer-class battery constants.
+func DefaultEnergyBudget() EnergyBudget { return energy.DefaultBudget() }

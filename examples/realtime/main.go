@@ -1,0 +1,188 @@
+// Realtime: a live producer-consumer monitor mirroring the paper's
+// iPhone application structure with goroutines.
+//
+// Three goroutines communicate over channels exactly like the paper's
+// threads communicate over the shared buffer:
+//
+//   - the mote goroutine senses, compresses and "transmits" a packet
+//     every window period;
+//   - the decoder goroutine receives packets, runs the real-time FISTA
+//     reconstruction, and appends samples to the display buffer;
+//   - the display goroutine wakes on a ticker and drains the buffer at
+//     the real-time rate, rendering an ASCII trace strip per window.
+//
+// Wall-clock time is compressed (a "2-second" window period is played as
+// 100 ms) so the demo finishes in seconds while preserving the relative
+// rates of the three actors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"csecg"
+)
+
+const (
+	timeCompression = 20 // play 2 s of signal per 100 ms of wall clock
+	sessionSeconds  = 30 // signal time to stream
+	displayCols     = 64 // terminal width of the trace strip
+)
+
+func main() {
+	params := csecg.Params{Seed: 77, M: csecg.MForCR(50, csecg.WindowSize)}
+	enc, err := csecg.NewEncoder(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := csecg.NewRealTimeDecoder(params, csecg.ModeNEON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := csecg.RecordByID("119") // trigeminy-like PVCs: visible ectopy
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := rec.Channel256(sessionSeconds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	packets := make(chan *csecg.Packet, 3)
+	displayBuf := newRing(6 * csecg.FsMote) // the paper's 6-second buffer
+
+	var wg sync.WaitGroup
+	windowPeriod := 2 * time.Second / timeCompression
+
+	// Mote: one packet per window period.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(packets)
+		ticker := time.NewTicker(windowPeriod)
+		defer ticker.Stop()
+		for o := 0; o+csecg.WindowSize <= len(samples); o += csecg.WindowSize {
+			pkt, err := enc.EncodeWindow(samples[o : o+csecg.WindowSize])
+			if err != nil {
+				log.Fatal(err)
+			}
+			packets <- pkt
+			<-ticker.C
+		}
+	}()
+
+	// Decoder: real-time reconstruction into the display ring.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for pkt := range packets {
+			res, err := dec.Decode(pkt)
+			if err != nil {
+				log.Printf("decoder: %v", err)
+				continue
+			}
+			displayBuf.push(res.Samples)
+			fmt.Printf("packet %2d: %4d iterations, modeled decode %5.0f ms, CPU %4.1f%%\n",
+				pkt.Seq, res.Iterations, res.ModeledTime.Seconds()*1000, res.CPUUsage*100)
+		}
+		displayBuf.close()
+	}()
+
+	// Display: drain at the real-time rate, draw a strip per window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			window, ok := displayBuf.pop(csecg.WindowSize)
+			if !ok {
+				return
+			}
+			fmt.Println(renderStrip(window, displayCols))
+		}
+	}()
+
+	wg.Wait()
+	fmt.Printf("\nsession done: coordinator CPU %.1f%% (modeled), iteration budget %d\n",
+		dec.AverageCPUUsage()*100, dec.IterationBudget())
+}
+
+// renderStrip draws a window as a one-line ASCII trace: column height
+// picked from the max |sample| in each bucket.
+func renderStrip(window []int16, cols int) string {
+	glyphs := []rune("_.-~^|")
+	per := len(window) / cols
+	var b strings.Builder
+	b.WriteByte('[')
+	for c := 0; c < cols; c++ {
+		var peak int
+		for i := c * per; i < (c+1)*per && i < len(window); i++ {
+			v := int(window[i]) - 1024
+			if v < 0 {
+				v = -v
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+		idx := peak * (len(glyphs) - 1) / 300
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ring is a bounded sample FIFO shared between decoder and display.
+type ring struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []int16
+	closed bool
+	cap    int
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{cap: capacity}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// push appends samples, dropping the oldest if the ring would overflow
+// (as the paper's fixed 6-second buffer does).
+func (r *ring) push(samples []int16) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, samples...)
+	if over := len(r.buf) - r.cap; over > 0 {
+		r.buf = r.buf[over:]
+	}
+	r.cond.Broadcast()
+}
+
+// pop blocks until n samples (or closure) are available.
+func (r *ring) pop(n int) ([]int16, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.buf) < n && !r.closed {
+		r.cond.Wait()
+	}
+	if len(r.buf) < n {
+		return nil, false
+	}
+	out := make([]int16, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out, true
+}
+
+func (r *ring) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}

@@ -1,0 +1,77 @@
+// Sweep: per-record compression-quality study. Runs the full pipeline
+// over a set of substitute-database records at several compression
+// ratios and prints a per-record table with the diagnostic-quality
+// classification — the workflow a clinician-facing evaluation would run
+// before choosing an operating point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"csecg"
+)
+
+func main() {
+	var (
+		records = flag.String("records", "100,106,119,200,208,232", "record IDs")
+		seconds = flag.Float64("seconds", 30, "seconds per record")
+		crs     = flag.String("crs", "30,50,70", "compression ratios to sweep")
+	)
+	flag.Parse()
+
+	var crList []float64
+	for _, s := range strings.Split(*crs, ",") {
+		var cr float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%f", &cr); err != nil {
+			log.Fatalf("bad CR %q: %v", s, err)
+		}
+		crList = append(crList, cr)
+	}
+
+	fmt.Printf("%-8s %-28s", "record", "rhythm")
+	for _, cr := range crList {
+		fmt.Printf("  CR%.0f: PRDN / quality   ", cr)
+	}
+	fmt.Println()
+
+	for _, id := range strings.Split(*records, ",") {
+		id = strings.TrimSpace(id)
+		rec, err := csecg.RecordByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		desc := rec.Description
+		if len(desc) > 26 {
+			desc = desc[:26]
+		}
+		fmt.Printf("%-8s %-28s", id, desc)
+		for _, cr := range crList {
+			rep, err := csecg.RunStream(csecg.StreamConfig{
+				RecordID: id,
+				Seconds:  *seconds,
+				Params:   csecg.Params{Seed: 0x5EE9, M: csecg.MForCR(cr, csecg.WindowSize)},
+				Mode:     csecg.ModeNEON,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.2f%% / %-11s", rep.MeanPRDN, quality(rep.MeanPRDN))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nquality bands (Zigel): very good < 2%, good < 9%, degraded otherwise (mean-removed PRD)")
+}
+
+func quality(prdn float64) string {
+	switch {
+	case prdn < 2:
+		return "very good"
+	case prdn < 9:
+		return "good"
+	default:
+		return "degraded"
+	}
+}

@@ -1,0 +1,233 @@
+package csecg
+
+import (
+	"testing"
+)
+
+func TestQRSFacade(t *testing.T) {
+	det, err := NewQRSDetector(360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordByID("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := det.Detect(sig.MV[0])
+	var ref []int
+	for _, a := range sig.Ann {
+		ref = append(ref, a.Sample)
+	}
+	st := MatchBeats(found, ref, 18)
+	if st.F1() < 0.9 {
+		t.Errorf("facade QRS F1 %.3f", st.F1())
+	}
+}
+
+func TestAdaptiveFacade(t *testing.T) {
+	base := Params{Seed: 3}
+	enc, err := NewAdaptiveEncoder(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewAdaptiveDecoder32(base, DefaultAdaptiveLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordByID("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc, err := rec.Channel256(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o+WindowSize <= len(adc); o += WindowSize {
+		f, err := enc.EncodeWindow(adc[o : o+WindowSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.DecodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSessionFacade(t *testing.T) {
+	base := Params{Seed: 11}
+	enc, err := NewSessionEncoder(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewSessionDecoder32(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordByID("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0, err := rec.Channel256(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := rec.Channel256(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := enc.EncodeWindows([][]int16{ch0[:WindowSize], ch1[:WindowSize]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if _, err := dec.DecodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBeatClassificationFacade(t *testing.T) {
+	det, err := NewQRSDetector(360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordByID("208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := det.DetectBeats(sig.MV[0])
+	var refS []int
+	var refV []bool
+	for _, a := range sig.Ann {
+		refS = append(refS, a.Sample)
+		refV = append(refV, a.Type.String() == "V")
+	}
+	st := ScoreBeatClassification(beats, refS, refV, 18)
+	if st.PVCSensitivity() < 0.8 {
+		t.Errorf("facade PVC sensitivity %.3f", st.PVCSensitivity())
+	}
+}
+
+func TestAnalogFacade(t *testing.T) {
+	fe, err := NewAnalogFrontEnd(AnalogConfig{M: 64, N: 128, Oversample: 4, WindowSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.ChipCount() != 512 {
+		t.Errorf("ChipCount = %d", fe.ChipCount())
+	}
+}
+
+func TestDWTBaselineFacade(t *testing.T) {
+	enc, err := NewDWTEncoder(512, 4, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDWTDecoder(512, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := make([]int16, 512)
+	for i := range win {
+		win[i] = int16(i%100 - 50)
+	}
+	data, err := enc.Encode(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 512 {
+		t.Errorf("decoded %d samples", len(back))
+	}
+}
+
+func TestWFDBFacade(t *testing.T) {
+	dir := t.TempDir()
+	ch := []int16{1, 2, 3, 4}
+	spec := WFDBSignalSpec{Gain: 200, Baseline: 1024, Units: "mV", ADCRes: 11, ADCZero: 1024}
+	if err := WriteWFDBRecord(dir, "x", 360, ch, ch, spec, [2]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadWFDBRecord(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Header.NumSamples != 4 {
+		t.Errorf("NumSamples = %d", rec.Header.NumSamples)
+	}
+	anns := []WFDBAnnotation{{Sample: 10, Code: 1}, {Sample: 2000, Code: 5}}
+	if err := WriteWFDBAnnotations(dir, "x", anns); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWFDBAnnotations(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Code != 5 {
+		t.Errorf("annotations round trip: %+v", got)
+	}
+}
+
+func TestDCTBasisFacade(t *testing.T) {
+	params := Params{Seed: 1, Basis: BasisDCT, M: MForCR(40, WindowSize)}
+	if _, err := NewDecoder32(params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEncoder(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHolterFacade(t *testing.T) {
+	det, err := NewQRSDetector(360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordByID("202") // atrial fibrillation
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []HolterBeat
+	for _, b := range det.DetectBeats(sig.MV[0]) {
+		beats = append(beats, HolterBeat{Time: float64(b.Sample) / 360, Ventricular: b.Ventricular})
+	}
+	rep, err := AnalyzeHolter(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanHR < 40 || rep.MeanHR > 120 {
+		t.Errorf("MeanHR %v", rep.MeanHR)
+	}
+	if CompareHolterReports(rep, rep) != 0 {
+		t.Error("self-comparison nonzero")
+	}
+	_, frac, err := DetectAF(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.6 {
+		t.Errorf("AF fraction %v on an AF record", frac)
+	}
+	sp, err := AnalyzeSpectralHRV(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.LFPower <= 0 || sp.HFPower <= 0 {
+		t.Errorf("spectral powers %v/%v", sp.LFPower, sp.HFPower)
+	}
+}

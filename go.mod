@@ -1,0 +1,3 @@
+module csecg
+
+go 1.22

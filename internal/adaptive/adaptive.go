@@ -1,0 +1,224 @@
+// Package adaptive adds closed-loop rate control on top of the fixed-CR
+// pipeline — a natural extension of the paper's system (its operating
+// point is chosen offline at CR = 50 for all signals).
+//
+// The mote cannot see the decoder's reconstruction error, so the
+// controller uses an encoder-side *activity proxy*: the mean absolute
+// first difference of the window, which grows with heart rate, ectopy
+// and motion artifact. Quiet signal → aggressive compression; active
+// signal → conservative compression. Level switches happen only at
+// key-frame boundaries (a switch forces one), so the decoder can always
+// resynchronize, and hysteresis keeps the controller from thrashing
+// between levels on boundary activity.
+//
+// The wire format wraps each pipeline packet in a one-byte level header;
+// both sides build one codec per level from the shared parameter list.
+package adaptive
+
+import (
+	"fmt"
+
+	"csecg/internal/core"
+	"csecg/internal/linalg"
+	"csecg/internal/metrics"
+)
+
+// Level is one operating point of the controller.
+type Level struct {
+	// CR is the CS compression ratio of this level.
+	CR float64
+	// ActivityBelow selects this level while the activity proxy stays
+	// under the threshold (the last level is the fallback and ignores
+	// it). Units: mean |Δsample| in ADC counts.
+	ActivityBelow float64
+}
+
+// DefaultLevels returns the stock three-point ladder: aggressive for
+// quiet signal, the paper's CR 50 for routine signal, conservative for
+// active signal. Thresholds are calibrated on the substitute database,
+// where clean sinus records idle near activity 4 and noisy ectopic
+// records run 5-7.
+func DefaultLevels() []Level {
+	return []Level{
+		{CR: 70, ActivityBelow: 4.8},
+		{CR: 50, ActivityBelow: 6.0},
+		{CR: 30, ActivityBelow: 0}, // fallback
+	}
+}
+
+// Hysteresis is the fractional margin the activity must clear before
+// the controller switches away from the current level.
+const Hysteresis = 0.15
+
+// Frame is one adaptive-stream unit: the level index plus the pipeline
+// packet.
+type Frame struct {
+	// Level indexes the shared level ladder.
+	Level uint8
+	// Packet is the wrapped pipeline packet.
+	Packet *core.Packet
+}
+
+// Marshal serializes the frame (level byte + packet wire format).
+func (f *Frame) Marshal() ([]byte, error) {
+	pkt, err := f.Packet.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 1+len(pkt))
+	out[0] = f.Level
+	copy(out[1:], pkt)
+	return out, nil
+}
+
+// UnmarshalFrame parses one frame, returning it and the bytes consumed.
+func UnmarshalFrame(data []byte) (*Frame, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("adaptive: empty frame")
+	}
+	pkt, n, err := core.UnmarshalPacket(data[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Frame{Level: data[0], Packet: pkt}, 1 + n, nil
+}
+
+// Encoder is the adaptive mote-side compressor.
+type Encoder struct {
+	levels   []Level
+	encoders []*core.Encoder
+	current  int
+}
+
+// NewEncoder builds one pipeline encoder per level. base supplies the
+// shared parameters (N, D, seed, codebook); each level overrides M from
+// its CR.
+func NewEncoder(base core.Params, levels []Level) (*Encoder, error) {
+	if len(levels) == 0 {
+		levels = DefaultLevels()
+	}
+	if len(levels) > 255 {
+		return nil, fmt.Errorf("adaptive: %d levels exceed the 1-byte header", len(levels))
+	}
+	e := &Encoder{levels: levels}
+	n := base.N
+	if n == 0 {
+		n = core.WindowSize
+	}
+	for _, lv := range levels {
+		p := base
+		p.M = metrics.MForCR(lv.CR, n)
+		enc, err := core.NewEncoder(p)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: level CR %.0f: %w", lv.CR, err)
+		}
+		e.encoders = append(e.encoders, enc)
+	}
+	e.current = len(levels) - 1 // start conservative until activity is known
+	return e, nil
+}
+
+// Levels returns the ladder.
+func (e *Encoder) Levels() []Level { return e.levels }
+
+// CurrentLevel returns the active level index.
+func (e *Encoder) CurrentLevel() int { return e.current }
+
+// Activity computes the encoder-side proxy: mean |x[i] − x[i−1]| in ADC
+// counts over the window.
+func Activity(window []int16) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	var sum int64
+	for i := 1; i < len(window); i++ {
+		d := int64(window[i]) - int64(window[i-1])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(window)-1)
+}
+
+// selectLevel applies the thresholds with hysteresis around the current
+// level.
+func (e *Encoder) selectLevel(activity float64) int {
+	target := len(e.levels) - 1
+	for i, lv := range e.levels[:len(e.levels)-1] {
+		if activity < lv.ActivityBelow {
+			target = i
+			break
+		}
+	}
+	if target == e.current {
+		return target
+	}
+	// Hysteresis: demand a clear margin beyond the boundary that
+	// separates the current level from the target side.
+	if target < e.current {
+		// Moving to a more aggressive level: activity must be clearly
+		// below that level's threshold.
+		if activity >= e.levels[target].ActivityBelow*(1-Hysteresis) {
+			return e.current
+		}
+	} else {
+		// Moving conservative: the current level's threshold must be
+		// clearly exceeded.
+		thr := e.levels[e.current].ActivityBelow
+		if thr > 0 && activity <= thr*(1+Hysteresis) {
+			return e.current
+		}
+	}
+	return target
+}
+
+// EncodeWindow compresses one window, switching level when the activity
+// proxy says so (the switch forces a key frame via encoder reset).
+func (e *Encoder) EncodeWindow(window []int16) (*Frame, error) {
+	level := e.selectLevel(Activity(window))
+	if level != e.current {
+		e.current = level
+		e.encoders[level].Reset() // next packet is a key frame
+	}
+	pkt, err := e.encoders[level].EncodeWindow(window)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{Level: uint8(level), Packet: pkt}, nil
+}
+
+// Decoder is the adaptive coordinator-side reconstructor.
+type Decoder[T linalg.Float] struct {
+	decoders []*core.Decoder[T]
+}
+
+// NewDecoder mirrors NewEncoder on the decode side.
+func NewDecoder[T linalg.Float](base core.Params, levels []Level) (*Decoder[T], error) {
+	if len(levels) == 0 {
+		levels = DefaultLevels()
+	}
+	d := &Decoder[T]{}
+	n := base.N
+	if n == 0 {
+		n = core.WindowSize
+	}
+	for _, lv := range levels {
+		p := base
+		p.M = metrics.MForCR(lv.CR, n)
+		dec, err := core.NewDecoder[T](p)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: level CR %.0f: %w", lv.CR, err)
+		}
+		d.decoders = append(d.decoders, dec)
+	}
+	return d, nil
+}
+
+// DecodeFrame reconstructs one frame with the matching level decoder.
+func (d *Decoder[T]) DecodeFrame(f *Frame) (*core.DecodeResult[T], error) {
+	if int(f.Level) >= len(d.decoders) {
+		return nil, fmt.Errorf("adaptive: frame level %d outside the %d-level ladder", f.Level, len(d.decoders))
+	}
+	return d.decoders[f.Level].DecodePacket(f.Packet)
+}

@@ -1,0 +1,261 @@
+package adaptive
+
+import (
+	"testing"
+
+	"csecg/internal/core"
+	"csecg/internal/ecg"
+	"csecg/internal/metrics"
+)
+
+func windows(t testing.TB, id string, seconds float64) [][]int16 {
+	t.Helper()
+	rec, err := ecg.RecordByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := rec.Channel256(seconds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]int16
+	for o := 0; o+core.WindowSize <= len(samples); o += core.WindowSize {
+		out = append(out, samples[o:o+core.WindowSize])
+	}
+	return out
+}
+
+func TestActivityProxy(t *testing.T) {
+	if Activity(nil) != 0 || Activity([]int16{5}) != 0 {
+		t.Error("degenerate activity not zero")
+	}
+	flat := make([]int16, 100)
+	if Activity(flat) != 0 {
+		t.Error("flat signal has nonzero activity")
+	}
+	// A spiky signal has higher activity than a slow ramp.
+	ramp := make([]int16, 100)
+	spiky := make([]int16, 100)
+	for i := range ramp {
+		ramp[i] = int16(i)
+		if i%10 == 0 {
+			spiky[i] = 500
+		}
+	}
+	if Activity(spiky) <= Activity(ramp) {
+		t.Error("spiky signal not more active than ramp")
+	}
+}
+
+func TestFrameMarshalRoundTrip(t *testing.T) {
+	f := &Frame{Level: 2, Packet: &core.Packet{Seq: 7, Kind: core.KindKey, Payload: []byte{1, 2, 3}}}
+	blob, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := UnmarshalFrame(blob)
+	if err != nil || n != len(blob) {
+		t.Fatalf("unmarshal: %v (n=%d)", err, n)
+	}
+	if got.Level != 2 || got.Packet.Seq != 7 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, _, err := UnmarshalFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(core.Params{Seed: 1}, make([]Level, 300)); err == nil {
+		t.Error("300 levels accepted")
+	}
+	enc, err := NewEncoder(core.Params{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Levels()) != 3 {
+		t.Errorf("default ladder has %d levels", len(enc.Levels()))
+	}
+	if enc.CurrentLevel() != 2 {
+		t.Errorf("initial level %d, want conservative fallback", enc.CurrentLevel())
+	}
+}
+
+func TestQuietSignalClimbsToAggressiveLevel(t *testing.T) {
+	enc, err := NewEncoder(core.Params{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 122 is the cleanest normal rhythm in the ladder.
+	for _, win := range windows(t, "122", 20) {
+		if _, err := enc.EncodeWindow(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := enc.Levels()[enc.CurrentLevel()].CR; got < 50 {
+		t.Errorf("quiet record settled at CR %.0f, want ≥ 50", got)
+	}
+}
+
+func TestActiveSignalStaysConservative(t *testing.T) {
+	enc, err := NewEncoder(core.Params{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 203: very noisy with frequent ectopy.
+	for _, win := range windows(t, "203", 20) {
+		if _, err := enc.EncodeWindow(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := enc.Levels()[enc.CurrentLevel()].CR; got > 50 {
+		t.Errorf("active record settled at CR %.0f, want ≤ 50", got)
+	}
+}
+
+func TestHysteresisPreventsThrashing(t *testing.T) {
+	enc, err := NewEncoder(core.Params{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate activity right around the first threshold (4.8): with
+	// 15% hysteresis the controller must not switch every window.
+	mk := func(delta int16) []int16 {
+		w := make([]int16, core.WindowSize)
+		for i := range w {
+			if i%2 == 0 {
+				w[i] = 1024 + delta
+			} else {
+				w[i] = 1024
+			}
+		}
+		return w
+	}
+	switches := 0
+	prev := enc.CurrentLevel()
+	for i := 0; i < 40; i++ {
+		delta := int16(4)
+		if i%2 == 1 {
+			delta = 5
+		}
+		if _, err := enc.EncodeWindow(mk(delta)); err != nil {
+			t.Fatal(err)
+		}
+		if enc.CurrentLevel() != prev {
+			switches++
+			prev = enc.CurrentLevel()
+		}
+	}
+	if switches > 3 {
+		t.Errorf("controller switched %d times on boundary activity", switches)
+	}
+}
+
+func TestEndToEndAcrossLevelSwitches(t *testing.T) {
+	base := core.Params{Seed: 9}
+	enc, err := NewEncoder(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder[float64](base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.decoders {
+		dec.decoders[i].SolverOptions.MaxIter = 150
+	}
+	// Alternate quiet and spiky synthetic windows to force switches,
+	// checking every frame decodes.
+	quiet := make([]int16, core.WindowSize)
+	active := make([]int16, core.WindowSize)
+	for i := range quiet {
+		quiet[i] = 1024 + int16(i%3)
+		if i%8 == 0 {
+			active[i] = 1500
+		} else {
+			active[i] = 1024
+		}
+	}
+	sawSwitch := false
+	prevLevel := -1
+	for i := 0; i < 12; i++ {
+		win := quiet
+		if (i/3)%2 == 1 {
+			win = active
+		}
+		f, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, _, err := UnmarshalFrame(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevLevel >= 0 && int(rx.Level) != prevLevel {
+			sawSwitch = true
+			if rx.Packet.Kind != core.KindKey {
+				t.Fatalf("frame after level switch is %v, want key", rx.Packet.Kind)
+			}
+		}
+		prevLevel = int(rx.Level)
+		if _, err := dec.DecodeFrame(rx); err != nil {
+			t.Fatalf("window %d (level %d): %v", i, rx.Level, err)
+		}
+	}
+	if !sawSwitch {
+		t.Error("test never exercised a level switch")
+	}
+}
+
+func TestDecodeFrameValidation(t *testing.T) {
+	dec, err := NewDecoder[float64](core.Params{Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Frame{Level: 9, Packet: &core.Packet{Kind: core.KindKey}}
+	if _, err := dec.DecodeFrame(f); err == nil {
+		t.Error("out-of-ladder level accepted")
+	}
+}
+
+func TestAdaptiveBeatsFixedOnMixedSignal(t *testing.T) {
+	// Over a session with both quiet and active records, the adaptive
+	// ladder should spend less wire than fixed CR 30 while keeping
+	// reconstruction closer to CR 30 quality than CR 70 quality.
+	base := core.Params{Seed: 13}
+	enc, err := NewEncoder(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptiveBits, rawBits int
+	wins := append(windows(t, "122", 16), windows(t, "203", 16)...)
+	for _, win := range wins {
+		f, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveBits += (f.Packet.WireSize() + 1) * 8
+		rawBits += core.WindowSize * 12
+	}
+	fixed30, err := core.NewEncoder(core.Params{Seed: 13, M: metrics.MForCR(30, core.WindowSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixedBits int
+	for _, win := range wins {
+		pkt, err := fixed30.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedBits += pkt.WireSize() * 8
+	}
+	crAdaptive := metrics.CR(rawBits, adaptiveBits)
+	crFixed := metrics.CR(rawBits, fixedBits)
+	if crAdaptive <= crFixed {
+		t.Errorf("adaptive CR %.1f%% not better than fixed-CR30 %.1f%% on mixed signal", crAdaptive, crFixed)
+	}
+}

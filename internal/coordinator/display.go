@@ -1,0 +1,172 @@
+package coordinator
+
+import (
+	"fmt"
+	"time"
+)
+
+// DisplayConfig describes the producer-consumer ECG viewer of Section
+// IV-B.1: one thread receives and decodes packets into a shared sample
+// buffer, a second thread wakes every DrawInterval to draw PixelsPerDraw
+// new samples. The buffer must hold 6 seconds — 2 s being written, 2 s
+// being read, and 2 s absorbed by the drawing hardware's latency.
+type DisplayConfig struct {
+	// BufferSeconds is the shared ring capacity (default 6).
+	BufferSeconds float64
+	// DrawInterval is the consumer period (default 15 ms).
+	DrawInterval time.Duration
+	// PixelsPerDraw is the samples consumed per wakeup (default 4).
+	PixelsPerDraw int
+	// SampleRate is the display's sample rate (default core.FsMote).
+	SampleRate float64
+	// StartupBuffer is how much signal the consumer waits for before
+	// the first draw (default 4 s — two packets, the "2 s being
+	// written plus 2 s being read" headroom of the paper's buffer
+	// analysis; the remaining 2 s of the ring absorbs display latency).
+	StartupBuffer float64
+}
+
+func (c DisplayConfig) withDefaults() DisplayConfig {
+	if c.BufferSeconds == 0 {
+		c.BufferSeconds = 6
+	}
+	if c.DrawInterval == 0 {
+		c.DrawInterval = 15 * time.Millisecond
+	}
+	if c.PixelsPerDraw == 0 {
+		c.PixelsPerDraw = 4
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 256
+	}
+	if c.StartupBuffer == 0 {
+		c.StartupBuffer = 4
+	}
+	return c
+}
+
+// DisplayReport summarizes a simulated viewer run.
+type DisplayReport struct {
+	// Underruns counts draw wakeups that found too few samples.
+	Underruns int
+	// Overflows counts producer writes that would have overrun the ring.
+	Overflows int
+	// MaxOccupancySeconds is the peak buffered signal.
+	MaxOccupancySeconds float64
+	// DrawnSeconds is the signal actually displayed.
+	DrawnSeconds float64
+	// EndToEndLatency is the worst packet-arrival→drawn latency.
+	EndToEndLatency float64
+}
+
+// SimulateDisplay runs a discrete-event simulation of the viewer:
+// packet k (2 s of signal) finishes decoding at arrival k·period +
+// decodeTimes[k]; the consumer drains the ring at its draw cadence. It
+// returns an error for non-positive periods or missing decode times.
+//
+// The simulation is deterministic and runs in virtual time, so tests can
+// sweep decode-time profiles without waiting out wall-clock seconds.
+func SimulateDisplay(cfg DisplayConfig, packetPeriod float64, decodeTimes []float64) (*DisplayReport, error) {
+	cfg = cfg.withDefaults()
+	if packetPeriod <= 0 {
+		return nil, fmt.Errorf("coordinator: packet period %v must be positive", packetPeriod)
+	}
+	if len(decodeTimes) == 0 {
+		return nil, fmt.Errorf("coordinator: no decode times supplied")
+	}
+	samplesPerPacket := int(packetPeriod * cfg.SampleRate)
+	capacity := int(cfg.BufferSeconds * cfg.SampleRate)
+	rep := &DisplayReport{}
+
+	// Producer events: the single decode thread starts packet k when it
+	// has both arrived and the previous decode finished, so a decoder
+	// slower than real time falls behind cumulatively.
+	type ready struct {
+		t       float64
+		samples int
+		arrival float64
+	}
+	events := make([]ready, len(decodeTimes))
+	prevFinish := 0.0
+	for k, dt := range decodeTimes {
+		if dt < 0 {
+			return nil, fmt.Errorf("coordinator: negative decode time at packet %d", k)
+		}
+		arrival := float64(k) * packetPeriod
+		start := arrival
+		if prevFinish > start {
+			start = prevFinish
+		}
+		prevFinish = start + dt
+		events[k] = ready{t: prevFinish, samples: samplesPerPacket, arrival: arrival}
+	}
+	// Consumer ticks. Each wakeup draws PixelsPerDraw pixels, which
+	// advances the signal by SampleRate·DrawInterval samples (the
+	// pixel-to-sample mapping is cosmetic); a fractional accumulator
+	// keeps the long-run drain rate exactly real-time.
+	drawDT := cfg.DrawInterval.Seconds()
+	end := events[len(events)-1].t + packetPeriod
+	samplesPerTick := cfg.SampleRate * drawDT
+
+	occupied := 0
+	drawn := 0
+	var wantFrac float64
+	started := false
+	nextEvent := 0
+	// Latency tracking: remember each packet's (readyTime, lastSample
+	// cumulative index) to compute when its last sample is drawn.
+	type span struct {
+		arrival float64
+		lastIdx int
+	}
+	var spans []span
+	produced := 0
+	for t := 0.0; t <= end; t += drawDT {
+		// Deliver any packets that completed by t.
+		for nextEvent < len(events) && events[nextEvent].t <= t {
+			ev := events[nextEvent]
+			if occupied+ev.samples > capacity {
+				rep.Overflows++
+				// Drop oldest to make room, as the real app's ring does.
+				occupied = capacity - ev.samples
+			}
+			occupied += ev.samples
+			produced += ev.samples
+			spans = append(spans, span{arrival: ev.arrival, lastIdx: produced - 1})
+			if occ := float64(occupied) / cfg.SampleRate; occ > rep.MaxOccupancySeconds {
+				rep.MaxOccupancySeconds = occ
+			}
+			nextEvent++
+		}
+		if !started {
+			if float64(occupied)/cfg.SampleRate >= cfg.StartupBuffer {
+				started = true
+			} else {
+				continue
+			}
+		}
+		// Draw: advance by the real-time sample budget of one tick.
+		wantFrac += samplesPerTick
+		want := int(wantFrac)
+		wantFrac -= float64(want)
+		if occupied >= want {
+			occupied -= want
+			drawn += want
+			// Latency of any packet whose last sample was just drawn.
+			for len(spans) > 0 && spans[0].lastIdx < drawn {
+				if lat := t - spans[0].arrival; lat > rep.EndToEndLatency {
+					rep.EndToEndLatency = lat
+				}
+				spans = spans[1:]
+			}
+		} else if nextEvent < len(events) {
+			// Starved mid-stream: the trace visibly stalls; the unmet
+			// demand is skipped, not queued (the display shows a gap).
+			rep.Underruns++
+			drawn += occupied
+			occupied = 0
+		}
+	}
+	rep.DrawnSeconds = float64(drawn) / cfg.SampleRate
+	return rep, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"csecg/internal/metrics"
+)
+
+func TestBasisString(t *testing.T) {
+	if BasisWavelet.String() != "wavelet" || BasisDCT.String() != "DCT" {
+		t.Error("Basis names wrong")
+	}
+}
+
+func TestDecoderDCTBasisRoundTrip(t *testing.T) {
+	params := Params{Seed: 0xDC, M: metrics.MForCR(40, WindowSize), Basis: BasisDCT}
+	enc, err := NewEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder[float64](params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.SolverOptions.MaxIter = 400 // enough to get a sane PRDN
+	windows := testWindows(t, 8)
+	var worst float64
+	for wi, win := range windows {
+		pkt, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.DecodePacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi == 0 {
+			continue
+		}
+		orig := make([]float64, len(win))
+		reco := make([]float64, len(win))
+		for i := range win {
+			orig[i] = float64(win[i])
+			reco[i] = float64(res.Samples[i])
+		}
+		prdn, err := metrics.PRDN(orig, reco)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prdn > worst {
+			worst = prdn
+		}
+	}
+	// DCT recovery is worse than wavelet but must still reconstruct a
+	// recognizable signal at CR 40.
+	if worst > 40 {
+		t.Errorf("DCT-basis PRDN %v, want < 40", worst)
+	}
+}
+
+func TestUnknownBasisRejected(t *testing.T) {
+	if _, err := NewDecoder[float64](Params{Basis: Basis(99)}); err == nil {
+		t.Error("unknown basis accepted")
+	}
+}

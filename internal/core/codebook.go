@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"csecg/internal/huffman"
+)
+
+// DefaultCodebook returns the stock codebook: a length-limited canonical
+// Huffman code trained offline on a two-sided geometric model of the
+// difference signal. The measurement differences of quasi-periodic ECG
+// concentrate tightly around zero with roughly exponential tails, so a
+// discrete-Laplacian histogram is an excellent stand-in for a corpus
+// histogram; cmd/csecg-codebook retrains from synthesized records when a
+// better match is wanted.
+func DefaultCodebook() *huffman.Codebook {
+	defaultCodebookOnce.Do(func() {
+		freq := DiffHistogramModel(20)
+		cb, err := huffman.Train(freq)
+		if err != nil {
+			// The model histogram is fixed and valid; failure here is a
+			// programming error, not an input error.
+			panic(fmt.Sprintf("core: training default codebook: %v", err))
+		}
+		defaultCodebook = cb
+	})
+	return defaultCodebook
+}
+
+var (
+	defaultCodebookOnce sync.Once
+	defaultCodebook     *huffman.Codebook
+)
+
+// DiffHistogramModel returns a smoothed model histogram over the 512
+// difference symbols: freq(d) ∝ exp(−|d|/scale) plus add-one smoothing
+// so every symbol is coded (the paper's "complete codebook of size
+// 512"). scale is the expected absolute difference magnitude.
+func DiffHistogramModel(scale float64) []int {
+	if scale <= 0 {
+		scale = 20
+	}
+	freq := make([]int, NumDiffSymbols)
+	for s := range freq {
+		d := float64(s - NumDiffSymbols/2)
+		if d < 0 {
+			d = -d
+		}
+		freq[s] = 1 + int(1e6*math.Exp(-d/scale))
+	}
+	return freq
+}

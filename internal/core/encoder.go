@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"csecg/internal/huffman"
+	"csecg/internal/sensing"
+)
+
+// Encoder is the mote-side compressor. It consumes 2-second windows of
+// raw 11-bit ADC samples and produces packets. All arithmetic is
+// integer-only — the exact operations the MSP430 port performs:
+// d additions per sample for the measurement, one subtraction per
+// measurement for the redundancy removal, and a table lookup per symbol
+// for the Huffman stage.
+type Encoder struct {
+	p     Params
+	phi   *sensing.SparseBinary
+	prevY []int32
+	seq   uint32
+	// streamIdx tracks PushSample progress within the current window.
+	streamIdx int
+	// scratch buffers reused across windows (the mote has 10 kB of RAM).
+	y       []int32
+	symbols []int
+	escapes []int32
+	centred []int16
+}
+
+// NewEncoder builds an encoder for the given parameters.
+func NewEncoder(p Params) (*Encoder, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	phi, err := p.sensingMatrix()
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		p:       p,
+		phi:     phi,
+		prevY:   make([]int32, p.M),
+		y:       make([]int32, p.M),
+		symbols: make([]int, 0, p.M),
+		centred: make([]int16, p.N),
+	}, nil
+}
+
+// Params returns the resolved parameters.
+func (e *Encoder) Params() Params { return e.p }
+
+// Reset returns the encoder to the start-of-stream state (next packet is
+// a key frame, sequence restarts, any partially streamed window is
+// discarded).
+func (e *Encoder) Reset() {
+	e.seq = 0
+	e.streamIdx = 0
+	for i := range e.prevY {
+		e.prevY[i] = 0
+	}
+	for i := range e.y {
+		e.y[i] = 0
+	}
+}
+
+// EncodeWindow compresses one window of raw ADC samples (values
+// 0..2047). It returns the packet to transmit. The window length must
+// equal Params().N.
+func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
+	if len(window) != e.p.N {
+		return nil, fmt.Errorf("core: window length %d, want %d", len(window), e.p.N)
+	}
+	if e.streamIdx != 0 {
+		return nil, fmt.Errorf("core: EncodeWindow with %d streamed samples pending", e.streamIdx)
+	}
+	// Stage 0: re-center (the ADC baseline carries no information).
+	for i, v := range window {
+		e.centred[i] = v - ADCBaseline
+	}
+	// Stage 1: CS measurement, integer adds only.
+	e.phi.MeasureInt(e.y, e.centred)
+	return e.finishWindow()
+}
+
+// PushSample is the streaming form of EncodeWindow: it feeds one raw
+// ADC sample, updating the measurement vector incrementally (d integer
+// adds — the work a real mote does in the ADC interrupt, with no window
+// buffer at all). Every N-th sample completes a window and returns its
+// packet; otherwise the packet is nil.
+func (e *Encoder) PushSample(sample int16) (*Packet, error) {
+	e.phi.AddMeasureInt(e.y, e.streamIdx, sample-ADCBaseline)
+	e.streamIdx++
+	if e.streamIdx < e.p.N {
+		return nil, nil
+	}
+	e.streamIdx = 0
+	return e.finishWindow()
+}
+
+// finishWindow applies the LSB drop to the accumulated measurements and
+// runs the difference and entropy stages. e.y is reset for the next
+// streaming window after its contents are consumed.
+func (e *Encoder) finishWindow() (*Packet, error) {
+	// The agreed LSB drop (round-to-nearest arithmetic shift) bounds
+	// the difference range.
+	if s := uint(e.p.MeasurementShift); s > 0 {
+		half := int32(1) << (s - 1)
+		for i, v := range e.y {
+			if v >= 0 {
+				e.y[i] = (v + half) >> s
+			} else {
+				e.y[i] = -((-v + half) >> s)
+			}
+		}
+	}
+	isKey := e.p.KeyFrameInterval <= 1 || e.seq%uint32(e.p.KeyFrameInterval) == 0
+	var pkt *Packet
+	if isKey {
+		pkt = e.encodeKey()
+	} else {
+		var err error
+		pkt, err = e.encodeDelta()
+		if err != nil {
+			return nil, err
+		}
+	}
+	copy(e.prevY, e.y)
+	for i := range e.y {
+		e.y[i] = 0
+	}
+	e.seq++
+	return pkt, nil
+}
+
+// encodeKey packs the measurements raw as little-endian int16 (the
+// measurement of a zero-centered 11-bit window through a weight-d binary
+// column fits comfortably: |y| ≤ d·1024 = 12288 for d=12).
+func (e *Encoder) encodeKey() *Packet {
+	payload := make([]byte, 2*e.p.M)
+	for i, v := range e.y {
+		binary.LittleEndian.PutUint16(payload[2*i:], uint16(clampInt16(v)))
+	}
+	return &Packet{Seq: e.seq, Kind: KindKey, Payload: payload}
+}
+
+// encodeDelta Huffman-codes the measurement differences. Differences
+// outside [−256, 254] use the escape codeword followed by a raw 24-bit
+// value (two's complement), wide enough for any column weight.
+func (e *Encoder) encodeDelta() (*Packet, error) {
+	e.symbols = e.symbols[:0]
+	e.escapes = e.escapes[:0]
+	for i, v := range e.y {
+		d := v - e.prevY[i]
+		if d >= -NumDiffSymbols/2 && d < NumDiffSymbols/2-1 {
+			e.symbols = append(e.symbols, int(d)+NumDiffSymbols/2)
+		} else {
+			e.symbols = append(e.symbols, EscapeSymbol)
+			e.escapes = append(e.escapes, d)
+		}
+	}
+	w := huffman.NewBitWriter()
+	esc := 0
+	for _, s := range e.symbols {
+		if err := e.p.Codebook.Encode(w, s); err != nil {
+			return nil, fmt.Errorf("core: entropy coding: %w", err)
+		}
+		if s == EscapeSymbol {
+			w.WriteBits(uint32(e.escapes[esc])&0xFFFFFF, 24)
+			esc++
+		}
+	}
+	return &Packet{
+		Seq:        e.seq,
+		Kind:       KindDelta,
+		NumSymbols: uint16(len(e.symbols)),
+		Payload:    w.Bytes(),
+	}, nil
+}
+
+func clampInt16(v int32) int16 {
+	switch {
+	case v > 1<<15-1:
+		return 1<<15 - 1
+	case v < -1<<15:
+		return -1 << 15
+	}
+	return int16(v)
+}
+
+// RawWindowBits is the uncompressed cost of one window: N samples at the
+// ADC's 11+1 bit storage width (MIT-BIH stores 11-bit samples in 12-bit
+// fields; streaming uncompressed sends the same).
+func (e *Encoder) RawWindowBits() int { return e.p.N * 12 }

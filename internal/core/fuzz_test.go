@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalPacket hardens the wire parser: arbitrary bytes must
+// never panic, and anything accepted must re-marshal to the identical
+// wire image (parse/serialize consistency).
+func FuzzUnmarshalPacket(f *testing.F) {
+	good := &Packet{Seq: 7, Kind: KindDelta, NumSymbols: 256, Payload: []byte{1, 2, 3}}
+	blob, _ := good.Marshal()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{packetMagic})
+	f.Add(bytes.Repeat([]byte{0xC5}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, n, err := UnmarshalPacket(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := pkt.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet failed to marshal: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-marshal differs from accepted wire image")
+		}
+	})
+}
+
+// FuzzDecodeDelta hardens the entropy/difference stage: corrupt payloads
+// must produce errors, never panics or silent acceptance of impossible
+// symbol counts.
+func FuzzDecodeDelta(f *testing.F) {
+	params := Params{Seed: 0xF2, M: 64, N: 128, WaveletLevels: 3}
+	enc, err := NewEncoder(params)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dec, err := NewDecoder[float64](params)
+	if err != nil {
+		f.Fatal(err)
+	}
+	dec.SolverOptions.MaxIter = 1
+	// Establish sync with a key frame.
+	win := make([]int16, 128)
+	for i := range win {
+		win[i] = int16(1024 + i%7)
+	}
+	key, err := enc.EncodeWindow(win)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := dec.DecodePacket(key); err != nil {
+		f.Fatal(err)
+	}
+	delta, err := enc.EncodeWindow(win)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(delta.Payload, uint16(delta.NumSymbols))
+	f.Add([]byte{}, uint16(64))
+	f.Add([]byte{0xFF, 0xFF}, uint16(64))
+	seq := delta.Seq
+	f.Fuzz(func(t *testing.T, payload []byte, nsym uint16) {
+		pkt := &Packet{Seq: seq, Kind: KindDelta, NumSymbols: nsym, Payload: payload}
+		res, err := dec.DecodePacket(pkt)
+		if err == nil {
+			seq++ // accepted: stream advances
+			if len(res.Samples) != 128 {
+				t.Fatalf("reconstruction length %d", len(res.Samples))
+			}
+		} else {
+			// Errors must desync; re-sync with a key frame for the next
+			// fuzz input.
+			k := *key
+			k.Seq = seq
+			blob, _ := k.Marshal()
+			rk, _, _ := UnmarshalPacket(blob)
+			if _, err := dec.DecodePacket(rk); err != nil {
+				t.Fatalf("key frame resync failed: %v", err)
+			}
+			seq++
+		}
+	})
+}

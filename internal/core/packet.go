@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PacketKind distinguishes key frames (measurements coded raw, stream
+// resynchronization points) from delta frames (Huffman-coded differences
+// against the previous window's measurements).
+type PacketKind uint8
+
+// Packet kinds.
+const (
+	KindKey PacketKind = iota + 1
+	KindDelta
+)
+
+// Packet is one encoded 2-second window as it travels over the wireless
+// link.
+type Packet struct {
+	// Seq is the window sequence number.
+	Seq uint32
+	// Kind marks key vs delta coding.
+	Kind PacketKind
+	// NumSymbols is the entropy-coded symbol count (delta frames).
+	NumSymbols uint16
+	// Payload carries the Huffman bitstream (delta) or packed 16-bit
+	// measurements (key).
+	Payload []byte
+}
+
+// packet wire layout (little-endian):
+//
+//	magic      uint8  = 0xC5
+//	kind       uint8
+//	seq        uint32
+//	numSymbols uint16
+//	payloadLen uint16
+//	payload    []byte
+//	checksum   uint16 (additive, over header+payload)
+const (
+	packetMagic  = 0xC5
+	headerBytes  = 10
+	trailerBytes = 2
+)
+
+// WireSize returns the marshaled size in bytes.
+func (p *Packet) WireSize() int { return headerBytes + len(p.Payload) + trailerBytes }
+
+// Marshal serializes the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	if len(p.Payload) > 0xFFFF {
+		return nil, fmt.Errorf("core: payload %d bytes exceeds format limit", len(p.Payload))
+	}
+	out := make([]byte, p.WireSize())
+	out[0] = packetMagic
+	out[1] = byte(p.Kind)
+	binary.LittleEndian.PutUint32(out[2:], p.Seq)
+	binary.LittleEndian.PutUint16(out[6:], p.NumSymbols)
+	binary.LittleEndian.PutUint16(out[8:], uint16(len(p.Payload)))
+	copy(out[headerBytes:], p.Payload)
+	sum := checksum(out[:headerBytes+len(p.Payload)])
+	binary.LittleEndian.PutUint16(out[headerBytes+len(p.Payload):], sum)
+	return out, nil
+}
+
+// UnmarshalPacket parses one packet from data, returning the packet and
+// the number of bytes consumed.
+func UnmarshalPacket(data []byte) (*Packet, int, error) {
+	if len(data) < headerBytes+trailerBytes {
+		return nil, 0, fmt.Errorf("core: packet truncated (%d bytes)", len(data))
+	}
+	if data[0] != packetMagic {
+		return nil, 0, fmt.Errorf("core: bad packet magic %#x", data[0])
+	}
+	kind := PacketKind(data[1])
+	if kind != KindKey && kind != KindDelta {
+		return nil, 0, fmt.Errorf("core: unknown packet kind %d", kind)
+	}
+	payloadLen := int(binary.LittleEndian.Uint16(data[8:]))
+	total := headerBytes + payloadLen + trailerBytes
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("core: packet truncated (%d of %d bytes)", len(data), total)
+	}
+	wantSum := binary.LittleEndian.Uint16(data[headerBytes+payloadLen:])
+	if got := checksum(data[:headerBytes+payloadLen]); got != wantSum {
+		return nil, 0, fmt.Errorf("core: packet checksum mismatch (%#x != %#x)", got, wantSum)
+	}
+	p := &Packet{
+		Seq:        binary.LittleEndian.Uint32(data[2:]),
+		Kind:       kind,
+		NumSymbols: binary.LittleEndian.Uint16(data[6:]),
+		Payload:    append([]byte(nil), data[headerBytes:headerBytes+payloadLen]...),
+	}
+	return p, total, nil
+}
+
+// checksum is the Fletcher-16 checksum, cheap enough for the mote.
+func checksum(data []byte) uint16 {
+	var a, b uint32
+	for _, v := range data {
+		a = (a + uint32(v)) % 255
+		b = (b + a) % 255
+	}
+	return uint16(b<<8 | a)
+}

@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIRLowpassDCGain(t *testing.T) {
+	for _, w := range []Window{Rectangular, Hamming, Blackman} {
+		h := FIRLowpass(63, 0.2, w)
+		var sum float64
+		for _, v := range h {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("window %d: DC gain = %v, want 1", w, sum)
+		}
+	}
+}
+
+func TestFIRLowpassSymmetric(t *testing.T) {
+	h := FIRLowpass(51, 0.15, Hamming)
+	for i := range h {
+		j := len(h) - 1 - i
+		if math.Abs(h[i]-h[j]) > 1e-15 {
+			t.Fatalf("tap %d and %d differ: %v vs %v (not linear phase)", i, j, h[i], h[j])
+		}
+	}
+}
+
+func TestFIRLowpassStopband(t *testing.T) {
+	h := FIRLowpass(101, 0.1, Blackman)
+	// Passband: near-unit gain at DC and 0.05.
+	if g := FrequencyResponseMag(h, 0.0); math.Abs(g-1) > 0.01 {
+		t.Errorf("gain at DC = %v", g)
+	}
+	if g := FrequencyResponseMag(h, 0.05); math.Abs(g-1) > 0.05 {
+		t.Errorf("gain at 0.05 = %v", g)
+	}
+	// Stopband: strong attenuation past 1.5× cutoff.
+	for _, f := range []float64{0.18, 0.25, 0.4, 0.49} {
+		if g := FrequencyResponseMag(h, f); g > 0.01 {
+			t.Errorf("stopband gain at %v = %v, want < 0.01", f, g)
+		}
+	}
+}
+
+func TestFIRLowpassPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FIRLowpass(2, 0.2, Hamming) },
+		func() { FIRLowpass(11, 0, Hamming) },
+		func() { FIRLowpass(11, 0.5, Hamming) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{1, 1})
+	want := []float64{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Convolve length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("Convolve with empty input should be nil")
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				return true
+			}
+			a[i] = math.Mod(a[i], 1e3)
+		}
+		for i := range b {
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			b[i] = math.Mod(b[i], 1e3)
+		}
+		ab := Convolve(a, b)
+		ba := Convolve(b, a)
+		for i := range ab {
+			if math.Abs(ab[i]-ba[i]) > 1e-6*(1+math.Abs(ab[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterSameAlignment(t *testing.T) {
+	// An impulse through a symmetric filter must stay centered.
+	x := make([]float64, 21)
+	x[10] = 1
+	h := FIRLowpass(31, 0.2, Hamming)
+	y := FilterSame(x, h)
+	if len(y) != len(x) {
+		t.Fatalf("FilterSame length %d, want %d", len(y), len(x))
+	}
+	// Peak must remain at index 10.
+	best, bestIdx := 0.0, -1
+	for i, v := range y {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx != 10 {
+		t.Errorf("impulse peak moved to %d, want 10", bestIdx)
+	}
+}
+
+func TestResamplerRatioReduced(t *testing.T) {
+	r := NewResampler(256, 360, 16)
+	l, m := r.Ratio()
+	if l != 32 || m != 45 {
+		t.Errorf("Ratio = %d/%d, want 32/45", l, m)
+	}
+}
+
+func TestResamplerOutputLength(t *testing.T) {
+	x := make([]float64, 3600) // 10 s at 360 Hz
+	y := Resample360To256(x)
+	want := (3600*32 + 44) / 45 // = 2560
+	if len(y) != want {
+		t.Errorf("output length %d, want %d", len(y), want)
+	}
+}
+
+func TestResamplerPreservesSine(t *testing.T) {
+	// 5 Hz sine at 360 Hz in, expect the same 5 Hz sine at 256 Hz out.
+	const fs, f = 360.0, 5.0
+	n := 3600
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	y := Resample360To256(x)
+	// Compare against the ideal 256 Hz sine, skipping filter edges.
+	const fsOut = 256.0
+	var maxErr float64
+	for i := 100; i < len(y)-100; i++ {
+		want := math.Sin(2 * math.Pi * f * float64(i) / fsOut)
+		if e := math.Abs(y[i] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.01 {
+		t.Errorf("max resampling error %v, want < 0.01", maxErr)
+	}
+}
+
+func TestResamplerDCPreserved(t *testing.T) {
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = 2.5
+	}
+	y := NewResampler(32, 45, 24).Process(x)
+	for i := 200; i < len(y)-200; i++ {
+		if math.Abs(y[i]-2.5) > 1e-3 {
+			t.Fatalf("DC level at %d = %v, want 2.5", i, y[i])
+		}
+	}
+}
+
+func TestResamplerIdentity(t *testing.T) {
+	// L == M reduces to 1/1: output ≈ input away from edges.
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(0.05 * float64(i))
+	}
+	y := NewResampler(3, 3, 16).Process(x)
+	if len(y) != len(x) {
+		t.Fatalf("identity resampler length %d, want %d", len(y), len(x))
+	}
+	for i := 50; i < len(x)-50; i++ {
+		if math.Abs(y[i]-x[i]) > 1e-3 {
+			t.Fatalf("identity resampler deviates at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestResamplerEmptyAndPanics(t *testing.T) {
+	if NewResampler(2, 1, 8).Process(nil) != nil {
+		t.Error("Process(nil) should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for L=0")
+		}
+	}()
+	NewResampler(0, 1, 8)
+}
+
+func BenchmarkResample10s(b *testing.B) {
+	x := make([]float64, 3600)
+	for i := range x {
+		x[i] = math.Sin(0.1 * float64(i))
+	}
+	r := NewResampler(32, 45, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Process(x)
+	}
+}
+
+func BenchmarkFIRLowpassDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FIRLowpass(769, 0.01, Blackman)
+	}
+}

@@ -1,0 +1,138 @@
+// Package ecg synthesizes the evaluation data set: a deterministic
+// substitute for the MIT-BIH Arrhythmia Database.
+//
+// The real database (48 half-hour two-channel ambulatory records, 360 Hz,
+// 11-bit over 10 mV) cannot be redistributed or fetched in this offline
+// build, so this package generates records with the same format and the
+// two properties the CS pipeline actually exploits:
+//
+//   - wavelet-domain sparsity: each beat is a sum of narrow Gaussian
+//     waves (the McSharry/ECGSYN morphology model), giving the compact
+//     PQRST support that makes α sparse, and
+//   - quasi-periodicity: consecutive 2-second windows look alike, which
+//     drives the inter-packet redundancy removal stage.
+//
+// Records include beat-to-beat variability, respiration coupling,
+// baseline wander, muscle noise, powerline interference, and arrhythmia
+// (PVCs, APCs, dropped beats) with MIT-BIH-style prevalence: the
+// 100-series records are mostly normal sinus rhythm, the 200-series are
+// ectopy-rich. Every record is reproducible from its ID.
+package ecg
+
+import "math"
+
+// BeatType labels a synthesized beat, mirroring MIT-BIH annotation codes.
+type BeatType int
+
+// Beat classes produced by the generator.
+const (
+	Normal  BeatType = iota // N: normal sinus beat
+	PVC                     // V: premature ventricular contraction
+	APC                     // A: atrial premature beat
+	Dropped                 // missed beat (sinus pause)
+)
+
+// String returns the MIT-BIH-style annotation symbol.
+func (b BeatType) String() string {
+	switch b {
+	case Normal:
+		return "N"
+	case PVC:
+		return "V"
+	case APC:
+		return "A"
+	case Dropped:
+		return "-"
+	default:
+		return "?"
+	}
+}
+
+// wave is one Gaussian component of the beat morphology: an amplitude
+// (mV), a phase center within the beat cycle [0, 2π), and a width in
+// phase radians.
+type wave struct {
+	amp   float64
+	theta float64
+	width float64
+}
+
+// morphology is the sum-of-Gaussians PQRST template of one beat class on
+// one lead.
+type morphology []wave
+
+// value evaluates the template at beat phase p ∈ (−∞, ∞); contributions
+// decay smoothly outside [0, 2π), which lets adjacent beats overlap
+// (P-on-T at high rates) exactly as in the continuous ECGSYN model.
+func (m morphology) value(p float64) float64 {
+	var v float64
+	for _, w := range m {
+		d := p - w.theta
+		v += w.amp * math.Exp(-d*d/(2*w.width*w.width))
+	}
+	return v
+}
+
+// Morphology templates. Phases place P at ~0.35π, QRS around π, T at
+// ~1.55π, so a beat occupies one 2π cycle with R at its center. Lead 1
+// approximates MLII (the primary MIT-BIH lead); lead 2 approximates V1
+// with its characteristic lower R and inverted-ish complexes.
+var (
+	normalLead1 = morphology{
+		{amp: 0.15, theta: 0.35 * math.Pi, width: 0.09 * math.Pi}, // P
+		{amp: -0.12, theta: 0.92 * math.Pi, width: 0.025 * math.Pi},
+		{amp: 1.20, theta: 1.00 * math.Pi, width: 0.028 * math.Pi}, // R
+		{amp: -0.25, theta: 1.08 * math.Pi, width: 0.025 * math.Pi},
+		{amp: 0.31, theta: 1.55 * math.Pi, width: 0.14 * math.Pi}, // T
+	}
+	normalLead2 = morphology{
+		{amp: 0.08, theta: 0.35 * math.Pi, width: 0.09 * math.Pi},
+		{amp: -0.35, theta: 0.95 * math.Pi, width: 0.03 * math.Pi},
+		{amp: 0.45, theta: 1.02 * math.Pi, width: 0.03 * math.Pi},
+		{amp: -0.10, theta: 1.10 * math.Pi, width: 0.03 * math.Pi},
+		{amp: 0.12, theta: 1.55 * math.Pi, width: 0.15 * math.Pi},
+	}
+	// PVC: no P wave, wide bizarre QRS, discordant (inverted) T.
+	pvcLead1 = morphology{
+		{amp: -0.30, theta: 0.88 * math.Pi, width: 0.07 * math.Pi},
+		{amp: 1.55, theta: 1.02 * math.Pi, width: 0.09 * math.Pi},
+		{amp: -0.45, theta: 1.20 * math.Pi, width: 0.08 * math.Pi},
+		{amp: -0.40, theta: 1.62 * math.Pi, width: 0.16 * math.Pi},
+	}
+	pvcLead2 = morphology{
+		{amp: 0.25, theta: 0.90 * math.Pi, width: 0.08 * math.Pi},
+		{amp: -1.05, theta: 1.03 * math.Pi, width: 0.10 * math.Pi},
+		{amp: 0.35, theta: 1.22 * math.Pi, width: 0.08 * math.Pi},
+		{amp: 0.28, theta: 1.62 * math.Pi, width: 0.16 * math.Pi},
+	}
+	// AF-conducted beats: the normal complexes without their P wave.
+	normalLead1NoP = normalLead1[1:]
+	normalLead2NoP = normalLead2[1:]
+	// APC: early beat, flattened ectopic P, otherwise near-normal QRS.
+	apcLead1 = morphology{
+		{amp: 0.08, theta: 0.30 * math.Pi, width: 0.12 * math.Pi},
+		{amp: -0.11, theta: 0.92 * math.Pi, width: 0.025 * math.Pi},
+		{amp: 1.05, theta: 1.00 * math.Pi, width: 0.028 * math.Pi},
+		{amp: -0.22, theta: 1.08 * math.Pi, width: 0.025 * math.Pi},
+		{amp: 0.27, theta: 1.55 * math.Pi, width: 0.14 * math.Pi},
+	}
+	apcLead2 = morphology{
+		{amp: 0.05, theta: 0.30 * math.Pi, width: 0.12 * math.Pi},
+		{amp: -0.32, theta: 0.95 * math.Pi, width: 0.03 * math.Pi},
+		{amp: 0.40, theta: 1.02 * math.Pi, width: 0.03 * math.Pi},
+		{amp: -0.09, theta: 1.10 * math.Pi, width: 0.03 * math.Pi},
+		{amp: 0.11, theta: 1.55 * math.Pi, width: 0.15 * math.Pi},
+	}
+)
+
+// templateFor returns the two-lead morphology of a beat class.
+func templateFor(bt BeatType) (lead1, lead2 morphology) {
+	switch bt {
+	case PVC:
+		return pvcLead1, pvcLead2
+	case APC:
+		return apcLead1, apcLead2
+	default:
+		return normalLead1, normalLead2
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"time"
+
+	"csecg/internal/core"
+	"csecg/internal/dwtcomp"
+	"csecg/internal/ecg"
+	"csecg/internal/metrics"
+	"csecg/internal/mote"
+)
+
+// BaselineRow is one compressor at one wire budget.
+type BaselineRow struct {
+	Name          string
+	BudgetCR      float64
+	MeanPRDN      float64
+	EncoderCycles int64
+	EncoderTime   time.Duration
+	EncoderRAM    int
+}
+
+// BaselineResult compares the CS encoder against the classical
+// DWT-thresholding compressor at matched per-window bit budgets.
+//
+// The measured trade-off is more nuanced than the introduction's
+// framing: with the MSP430's hardware multiplier, the fixed-point DWT
+// is actually competitive in cycles and clearly better in
+// rate-distortion. What CS buys instead is architectural: streaming
+// per-sample updates (no full-window transform or coefficient sort
+// before transmit), ~30% less working RAM, multiplier-free integer
+// adds (relevant for cheaper MCUs and for the paper's analog-CS
+// endgame, where the "encoder" vanishes into the read-out electronics
+// entirely), and graceful degradation under packet loss.
+type BaselineResult struct {
+	Rows []BaselineRow
+}
+
+// Baseline runs the comparison at wire budgets equivalent to CS CR 50
+// and 70.
+func Baseline(opt Options) (*BaselineResult, error) {
+	opt = opt.withDefaults()
+	res := &BaselineResult{}
+	for _, cr := range []float64{50, 70} {
+		// --- CS pipeline at this CR.
+		p := core.Params{Seed: 0xBA5E, M: metrics.MForCR(cr, core.WindowSize)}
+		csPRDN, _, err := pipelinePRD[float64](opt, p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mote.New(p)
+		if err != nil {
+			return nil, err
+		}
+		// One representative window for the cycle model (costs are
+		// data-independent except entropy size; use record 0's second
+		// window).
+		wins, err := windows256(opt.Records[0], 6, core.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := m.EncodeWindow(wins[0])
+		if err != nil {
+			return nil, err
+		}
+		csMem := m.MemoryFootprint()
+		res.Rows = append(res.Rows, BaselineRow{
+			Name: "CS (sparse binary + Δ + Huffman)", BudgetCR: cr,
+			MeanPRDN:      csPRDN,
+			EncoderCycles: rep.TotalCycles,
+			EncoderTime:   rep.EncodeTime,
+			EncoderRAM:    csMem.SampleBuffers + csMem.MeasurementState + csMem.SymbolScratch,
+		})
+
+		// --- DWT thresholding at the same bit budget.
+		budgetBits := int(float64(core.WindowSize*12) * (1 - cr/100))
+		keepK := dwtcomp.KForBudget(budgetBits)
+		enc, err := dwtcomp.NewEncoder(core.WindowSize, core.DefaultWaveletOrder, core.DefaultWaveletLevels, keepK)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := dwtcomp.NewDecoder(core.WindowSize, core.DefaultWaveletOrder, core.DefaultWaveletLevels)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		var count int
+		for _, id := range opt.Records {
+			rw, err := windows256(id, opt.SecondsPerRecord, core.WindowSize)
+			if err != nil {
+				return nil, err
+			}
+			for _, win := range rw {
+				centred := make([]int16, len(win))
+				for i, v := range win {
+					centred[i] = v - ecg.ADCBaseline
+				}
+				data, err := enc.Encode(centred)
+				if err != nil {
+					return nil, err
+				}
+				back, err := dec.Decode(data)
+				if err != nil {
+					return nil, err
+				}
+				orig := make([]float64, len(win))
+				reco := make([]float64, len(win))
+				for i := range win {
+					orig[i] = float64(win[i])
+					reco[i] = float64(back[i]) + ecg.ADCBaseline
+				}
+				prdn, err := metrics.PRDN(orig, reco)
+				if err != nil {
+					return nil, err
+				}
+				sum += prdn
+				count++
+			}
+		}
+		cycles := enc.EncoderCycles()
+		res.Rows = append(res.Rows, BaselineRow{
+			Name: "DWT thresholding (fixed-point db4, top-K)", BudgetCR: cr,
+			MeanPRDN:      sum / float64(count),
+			EncoderCycles: cycles,
+			EncoderTime:   time.Duration(float64(cycles) / mote.ClockHz * float64(time.Second)),
+			// DWT needs the window plus a full coefficient buffer and a
+			// scratch buffer, all 32-bit.
+			EncoderRAM: core.WindowSize*2 + 2*core.WindowSize*4,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *BaselineResult) Table() *Table {
+	t := &Table{
+		Title:  "Baseline — CS encoder vs classical DWT-thresholding at matched wire budgets",
+		Note:   "transform coding wins rate-distortion (and cycles, given a HW multiplier); CS wins RAM, streaming operation and the analog-CS path",
+		Header: []string{"compressor", "budget (CS-CR eq.)", "mean PRDN (%)", "encoder cycles", "encode time (ms)", "working RAM (B)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name, f1(row.BudgetCR), f2(row.MeanPRDN),
+			f1(float64(row.EncoderCycles) / 1000), f1(row.EncoderTime.Seconds() * 1000),
+			f1(float64(row.EncoderRAM)),
+		})
+	}
+	t.Header[3] = "encoder kcycles"
+	return t
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"csecg/internal/core"
+	"csecg/internal/metrics"
+)
+
+// Fig6Point is one (CR, PRD) sample at both precisions.
+type Fig6Point struct {
+	CR               float64
+	PRD64, PRD32     float64
+	Qual64, Qual32   metrics.Quality
+	WireCRPercentage float64
+}
+
+// Fig6Result reproduces Fig. 6: output PRD versus compression ratio for
+// the float64 ("Matlab, 64-bit") and float32 ("iPhone, 32-bit") decoder
+// builds running the full packet pipeline.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// Fig6 runs the experiment. The paper's claim: the 32-bit real-time
+// implementation loses nothing against the 64-bit reference.
+func Fig6(opt Options) (*Fig6Result, error) {
+	opt = opt.withDefaults()
+	res := &Fig6Result{}
+	for cr := 30.0; cr <= 90.0; cr += 10 {
+		p := core.Params{Seed: 0x0F16, M: metrics.MForCR(cr, core.WindowSize)}
+		m64, wire, err := pipelinePRD[float64](opt, p)
+		if err != nil {
+			return nil, err
+		}
+		m32, _, err := pipelinePRD[float32](opt, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig6Point{
+			CR:    cr,
+			PRD64: m64, PRD32: m32,
+			Qual64: metrics.Classify(m64), Qual32: metrics.Classify(m32),
+			WireCRPercentage: wire,
+		})
+	}
+	return res, nil
+}
+
+// pipelinePRD runs the full encoder→decoder pipeline at one precision
+// and returns the mean steady-state PRDN plus the achieved wire CR.
+func pipelinePRD[T interface{ ~float32 | ~float64 }](opt Options, p core.Params) (float64, float64, error) {
+	type recordStats struct {
+		sum               float64
+		count             int
+		rawBits, compBits int
+	}
+	// Records run full encoder/decoder pairs independently; fan out.
+	results, err := forEachRecord(opt.Records, func(id string) (recordStats, error) {
+		var acc recordStats
+		enc, err := core.NewEncoder(p)
+		if err != nil {
+			return acc, err
+		}
+		dec, err := core.NewDecoder[T](p)
+		if err != nil {
+			return acc, err
+		}
+		wins, err := windows256(id, opt.SecondsPerRecord, enc.Params().N)
+		if err != nil {
+			return acc, err
+		}
+		for wi, win := range wins {
+			pkt, err := enc.EncodeWindow(win)
+			if err != nil {
+				return acc, err
+			}
+			acc.rawBits += enc.RawWindowBits()
+			acc.compBits += pkt.WireSize() * 8
+			out, err := dec.DecodePacket(pkt)
+			if err != nil {
+				return acc, err
+			}
+			if wi == 0 {
+				continue // cold start not representative
+			}
+			orig := make([]float64, len(win))
+			reco := make([]float64, len(win))
+			for i := range win {
+				orig[i] = float64(win[i])
+				reco[i] = float64(out.Samples[i])
+			}
+			prdn, err := metrics.PRDN(orig, reco)
+			if err != nil {
+				return acc, err
+			}
+			acc.sum += prdn
+			acc.count++
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var total recordStats
+	for _, r := range results {
+		total.sum += r.sum
+		total.count += r.count
+		total.rawBits += r.rawBits
+		total.compBits += r.compBits
+	}
+	return total.sum / float64(total.count), metrics.CR(total.rawBits, total.compBits), nil
+}
+
+// Table renders the result.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 6 — Output PRD vs CR: float64 reference vs float32 real-time decoder",
+		Note:   "full packet pipeline (measure→Δ→Huffman→decode→FISTA); PRD is mean-removed",
+		Header: []string{"CS CR (%)", "wire CR (%)", "PRD 64-bit", "PRD 32-bit", "Δ", "quality"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			f1(p.CR), f1(p.WireCRPercentage), f2(p.PRD64), f2(p.PRD32),
+			f2(p.PRD32 - p.PRD64), p.Qual32.String(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"csecg/internal/core"
+	"csecg/internal/holter"
+	"csecg/internal/metrics"
+	"csecg/internal/qrs"
+)
+
+// HolterRow is one CR operating point of the report-fidelity study.
+type HolterRow struct {
+	CR float64
+	// Ref and Got are the analytics on original and reconstruction.
+	Ref, Got *holter.Report
+	// WorstRelErr is the headline-number deviation.
+	WorstRelErr float64
+}
+
+// HolterReportResult measures whether *report-level* outputs (mean HR,
+// HRV indices, PVC burden) survive compression — one level above the
+// QRS study: not "are the beats still there" but "are the numbers the
+// cardiologist reads still right".
+type HolterReportResult struct {
+	Rows []HolterRow
+}
+
+// HolterReport runs the study on an ectopy-rich record.
+func HolterReport(opt Options) (*HolterReportResult, error) {
+	opt = opt.withDefaults()
+	seconds := opt.SecondsPerRecord * 8
+	if seconds < 180 {
+		seconds = 180
+	}
+	det, err := qrs.NewDetector(core.FsMote)
+	if err != nil {
+		return nil, err
+	}
+	analyzeFrom := func(x []float64) (*holter.Report, error) {
+		var beats []holter.BeatInput
+		for _, b := range det.DetectBeats(x) {
+			beats = append(beats, holter.BeatInput{
+				Time:        float64(b.Sample) / core.FsMote,
+				Ventricular: b.Ventricular,
+			})
+		}
+		return holter.Analyze(beats)
+	}
+	res := &HolterReportResult{}
+	for _, cr := range []float64{30, 50, 70, 85} {
+		p := core.Params{Seed: 0x607, M: metrics.MForCR(cr, core.WindowSize)}
+		enc, err := core.NewEncoder(p)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := core.NewDecoder[float32](p)
+		if err != nil {
+			return nil, err
+		}
+		wins, err := windows256(opt.Records[0], seconds, enc.Params().N)
+		if err != nil {
+			return nil, err
+		}
+		var orig, recon []float64
+		for _, win := range wins {
+			pkt, err := enc.EncodeWindow(win)
+			if err != nil {
+				return nil, err
+			}
+			out, err := dec.DecodePacket(pkt)
+			if err != nil {
+				return nil, err
+			}
+			for i := range win {
+				orig = append(orig, float64(win[i]))
+				recon = append(recon, float64(out.Samples[i]))
+			}
+		}
+		ref, err := analyzeFrom(orig)
+		if err != nil {
+			return nil, err
+		}
+		got, err := analyzeFrom(recon)
+		if err != nil {
+			// Detection collapsed entirely: record the failure as total
+			// deviation rather than aborting the sweep.
+			res.Rows = append(res.Rows, HolterRow{CR: cr, Ref: ref, WorstRelErr: 1})
+			continue
+		}
+		res.Rows = append(res.Rows, HolterRow{
+			CR: cr, Ref: ref, Got: got,
+			WorstRelErr: holter.CompareReports(ref, got),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *HolterReportResult) Table() *Table {
+	t := &Table{
+		Title:  "Extension — Holter report fidelity on the reconstruction",
+		Note:   "headline analytics (mean HR, SDNN, RMSSD, PVC burden) on reconstructed vs original signal",
+		Header: []string{"CR (%)", "HR ref/got (bpm)", "SDNN ref/got (ms)", "PVC/h ref/got", "worst rel err (%)"},
+	}
+	for _, row := range r.Rows {
+		hr, sdnn, pvc := "-", "-", "-"
+		if row.Got != nil {
+			hr = f1(row.Ref.MeanHR) + " / " + f1(row.Got.MeanHR)
+			sdnn = f1(row.Ref.SDNN) + " / " + f1(row.Got.SDNN)
+			pvc = f1(row.Ref.VentricularPerHour) + " / " + f1(row.Got.VentricularPerHour)
+		}
+		t.Rows = append(t.Rows, []string{
+			f1(row.CR), hr, sdnn, pvc, f1(row.WorstRelErr * 100),
+		})
+	}
+	return t
+}

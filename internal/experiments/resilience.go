@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"csecg/internal/core"
+	"csecg/internal/link"
+	"csecg/internal/metrics"
+)
+
+// ResilienceRow is one (loss rate, key-frame interval) operating point.
+type ResilienceRow struct {
+	LossPct     float64
+	KeyInterval int
+	// Coverage is the fraction of windows reconstructed.
+	Coverage float64
+	// MeanPRDN is the quality of the reconstructed windows.
+	MeanPRDN float64
+	// WireCR is the achieved compression (key frames cost rate).
+	WireCR float64
+}
+
+// ResilienceResult sweeps packet loss against the key-frame interval:
+// the interval trades compression (delta frames are ~2× smaller) against
+// how long a loss blinds the decoder. The paper's system runs over
+// Bluetooth (reliable link); this experiment covers the lossy-radio
+// deployments the WBSN literature targets.
+type ResilienceResult struct {
+	Rows []ResilienceRow
+}
+
+// Resilience runs the sweep on one record. The stream must be long
+// relative to the largest key-frame interval for stable coverage
+// statistics, so at least 240 seconds (120 windows) are rendered
+// regardless of the option's per-record duration.
+func Resilience(opt Options) (*ResilienceResult, error) {
+	opt = opt.withDefaults()
+	seconds := opt.SecondsPerRecord * 4
+	if seconds < 240 {
+		seconds = 240
+	}
+	wins, err := windows256(opt.Records[0], seconds, core.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	res := &ResilienceResult{}
+	for _, keyInt := range []int{8, 32, 64} {
+		for _, loss := range []float64{0, 0.05, 0.15} {
+			p := core.Params{Seed: 0x4E5, M: metrics.MForCR(50, core.WindowSize), KeyFrameInterval: keyInt}
+			enc, err := core.NewEncoder(p)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := core.NewDecoder[float32](p)
+			if err != nil {
+				return nil, err
+			}
+			cfg := link.DefaultConfig()
+			cfg.DropProb = loss
+			cfg.Seed = 0x1055
+			lnk, err := link.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var rawBits, compBits, decoded int
+			var sumPRDN float64
+			for _, win := range wins {
+				pkt, err := enc.EncodeWindow(win)
+				if err != nil {
+					return nil, err
+				}
+				rawBits += enc.RawWindowBits()
+				compBits += pkt.WireSize() * 8
+				rx, _, err := lnk.TransmitPacket(pkt)
+				if err != nil {
+					return nil, err
+				}
+				if rx == nil {
+					continue
+				}
+				out, err := dec.DecodePacket(rx)
+				if err != nil {
+					continue // desynced: waiting for a key frame
+				}
+				decoded++
+				orig := make([]float64, len(win))
+				reco := make([]float64, len(win))
+				for i := range win {
+					orig[i] = float64(win[i])
+					reco[i] = float64(out.Samples[i])
+				}
+				if prdn, err := metrics.PRDN(orig, reco); err == nil {
+					sumPRDN += prdn
+				}
+			}
+			row := ResilienceRow{
+				LossPct:     loss * 100,
+				KeyInterval: keyInt,
+				Coverage:    float64(decoded) / float64(len(wins)),
+				WireCR:      metrics.CR(rawBits, compBits),
+			}
+			if decoded > 0 {
+				row.MeanPRDN = sumPRDN / float64(decoded)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *ResilienceResult) Table() *Table {
+	t := &Table{
+		Title:  "Extension — packet loss vs key-frame interval (CR=50)",
+		Note:   "short intervals recover faster from loss but spend rate on key frames",
+		Header: []string{"loss (%)", "key interval", "coverage (%)", "mean PRDN (%)", "wire CR (%)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			f1(row.LossPct), f1(float64(row.KeyInterval)),
+			f1(row.Coverage * 100), f2(row.MeanPRDN), f1(row.WireCR),
+		})
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 0.5, -0.5, 0.25, -1, 0.999969482421875} {
+		q := FromFloat(f)
+		if got := q.Float(); math.Abs(got-f) > 1.0/(1<<16) {
+			t.Errorf("FromFloat(%v).Float() = %v", f, got)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(2.0) != MaxQ15 {
+		t.Error("FromFloat(2) did not saturate to MaxQ15")
+	}
+	if FromFloat(-2.0) != MinQ15 {
+		t.Error("FromFloat(-2) did not saturate to MinQ15")
+	}
+	if FromFloat(1.0) != MaxQ15 {
+		t.Error("FromFloat(1) should saturate to MaxQ15 (1.0 unrepresentable)")
+	}
+}
+
+func TestSatAddSaturates(t *testing.T) {
+	if SatAdd(MaxQ15, 1) != MaxQ15 {
+		t.Error("SatAdd overflow did not saturate high")
+	}
+	if SatAdd(MinQ15, -1) != MinQ15 {
+		t.Error("SatAdd underflow did not saturate low")
+	}
+	if SatAdd(1000, 234) != 1234 {
+		t.Error("SatAdd basic arithmetic wrong")
+	}
+}
+
+func TestSatSub(t *testing.T) {
+	if SatSub(MinQ15, 1) != MinQ15 {
+		t.Error("SatSub underflow did not saturate")
+	}
+	if SatSub(MaxQ15, -1) != MaxQ15 {
+		t.Error("SatSub overflow did not saturate")
+	}
+	if SatSub(1000, 234) != 766 {
+		t.Error("SatSub basic arithmetic wrong")
+	}
+}
+
+func TestSatAddMatchesFloatProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		got := SatAdd(Q15(a), Q15(b)).Float()
+		want := Q15(a).Float() + Q15(b).Float()
+		if want > MaxQ15.Float() {
+			want = MaxQ15.Float()
+		}
+		if want < -1 {
+			want = -1
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAgainstFloat(t *testing.T) {
+	f := func(a, b int16) bool {
+		got := Mul(Q15(a), Q15(b)).Float()
+		want := Q15(a).Float() * Q15(b).Float()
+		// One rounding step of Q15 precision plus saturation at +1.
+		if want > MaxQ15.Float() {
+			want = MaxQ15.Float()
+		}
+		return math.Abs(got-want) <= 1.0/(1<<15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulEdge(t *testing.T) {
+	// −1 × −1 = +1 is not representable; must saturate, not wrap.
+	if got := Mul(MinQ15, MinQ15); got != MaxQ15 {
+		t.Errorf("MinQ15*MinQ15 = %d, want MaxQ15", got)
+	}
+	if got := Mul(MaxQ15, 0); got != 0 {
+		t.Errorf("MaxQ15*0 = %d, want 0", got)
+	}
+}
+
+func TestMACAccumulates(t *testing.T) {
+	var acc Q31
+	// 0.5 * 0.5 accumulated 3 times = 0.75.
+	h := FromFloat(0.5)
+	for i := 0; i < 3; i++ {
+		acc = MAC(acc, h, h)
+	}
+	if got := acc.NarrowQ15().Float(); math.Abs(got-0.75) > 1e-4 {
+		t.Errorf("3×(0.5·0.5) = %v, want 0.75", got)
+	}
+}
+
+func TestMACSaturates(t *testing.T) {
+	acc := MaxQ31
+	if got := MAC(acc, MaxQ15, MaxQ15); got != MaxQ31 {
+		t.Errorf("MAC overflow = %d, want saturation", got)
+	}
+	acc = MinQ31
+	if got := MAC(acc, MaxQ15, MinQ15); got != MinQ31 {
+		t.Errorf("MAC underflow = %d, want saturation", got)
+	}
+}
+
+func TestDotQ15(t *testing.T) {
+	a := []Q15{FromFloat(0.5), FromFloat(-0.25), FromFloat(0.125)}
+	b := []Q15{FromFloat(0.5), FromFloat(0.5), FromFloat(-0.5)}
+	want := 0.5*0.5 - 0.25*0.5 - 0.125*0.5
+	if got := DotQ15(a, b).Float(); math.Abs(got-want) > 1e-4 {
+		t.Errorf("DotQ15 = %v, want %v", got, want)
+	}
+}
+
+func TestDotQ15PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DotQ15 length mismatch did not panic")
+		}
+	}()
+	DotQ15(make([]Q15, 2), make([]Q15, 3))
+}
+
+func TestSumInt16Sat(t *testing.T) {
+	if got := SumInt16Sat([]int16{1, 2, 3, -4}); got != 2 {
+		t.Errorf("SumInt16Sat = %d, want 2", got)
+	}
+	// 2^16 copies of MaxInt16 exceeds int32: must saturate.
+	big := make([]int16, 1<<16+10)
+	for i := range big {
+		big[i] = 1<<15 - 1
+	}
+	if got := SumInt16Sat(big); got != int32(MaxQ31) {
+		t.Errorf("SumInt16Sat overflow = %d, want MaxQ31", got)
+	}
+}
+
+func TestClampInt16(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int16
+	}{
+		{0, 0}, {32767, 32767}, {32768, 32767}, {-32768, -32768},
+		{-32769, -32768}, {123456, 32767}, {-123456, -32768},
+	}
+	for _, c := range cases {
+		if got := ClampInt16(c.in); got != c.want {
+			t.Errorf("ClampInt16(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQ31Float(t *testing.T) {
+	if got := MaxQ31.Float(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("MaxQ31.Float() = %v", got)
+	}
+	if got := MinQ31.Float(); got != -1 {
+		t.Errorf("MinQ31.Float() = %v", got)
+	}
+}
+
+func BenchmarkDotQ15(b *testing.B) {
+	a := make([]Q15, 512)
+	c := make([]Q15, 512)
+	for i := range a {
+		a[i] = Q15(i % 100)
+		c[i] = Q15(-i % 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotQ15(a, c)
+	}
+}

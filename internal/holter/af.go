@@ -1,0 +1,124 @@
+package holter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AF detection from RR statistics.
+//
+// Atrial fibrillation and frequent ectopy both inflate naive RR
+// variability numbers; what distinguishes them is the *shape* of the RR
+// distribution. AF spreads the bulk of the intervals (irregularly
+// irregular conduction), while ectopy keeps a tight sinus bulk with
+// short-coupling/compensatory outliers (low interquartile dispersion)
+// or, in bigeminy-class rhythms, alternates between two widely spaced
+// clusters (enormous interquartile dispersion). The detector therefore
+// classifies on the interquartile range of the RR intervals normalized
+// by their median — a statistic the ectopic tails cannot move — and
+// calls AF inside a band.
+const (
+	// AFIQRLow and AFIQRHigh bound the normalized interquartile NN
+	// dispersion of fibrillation. Calibrated on the substitute
+	// database: AF windows measure 0.19-0.36, sinus ≤ 0.10, ectopic
+	// rhythms (after NN exclusion) ≤ 0.18 or ≥ 0.80.
+	AFIQRLow  = 0.20
+	AFIQRHigh = 0.50
+	// AFWindowBeats is the sliding-window length for episode detection.
+	AFWindowBeats = 64
+)
+
+// AFEpisode is one detected fibrillation episode.
+type AFEpisode struct {
+	// Start and End are the beat times (seconds) bounding the episode.
+	Start, End float64
+}
+
+// RRDispersion returns the normalized interquartile dispersion
+// IQR(NN)/median(NN) of a beat sequence. Only normal-to-normal
+// intervals enter the statistic: intervals touching a ventricular beat
+// (the coupling interval and the compensatory pause) are excluded, as
+// clinical AF detectors do — otherwise frequent ectopy masquerades as
+// fibrillation.
+func RRDispersion(beats []BeatInput) (float64, error) {
+	if len(beats) < 8 {
+		return 0, fmt.Errorf("holter: %d beats, need at least 8 for dispersion", len(beats))
+	}
+	rrs := make([]float64, 0, len(beats)-1)
+	for i := 1; i < len(beats); i++ {
+		if beats[i].Ventricular || beats[i-1].Ventricular {
+			continue
+		}
+		rrs = append(rrs, beats[i].Time-beats[i-1].Time)
+	}
+	if len(rrs) < 6 {
+		return 0, fmt.Errorf("holter: only %d normal-to-normal intervals", len(rrs))
+	}
+	sort.Float64s(rrs)
+	med := rrs[len(rrs)/2]
+	if med <= 0 {
+		return 0, fmt.Errorf("holter: non-positive median RR")
+	}
+	iqr := rrs[len(rrs)*3/4] - rrs[len(rrs)/4]
+	return iqr / med, nil
+}
+
+// IsAFDispersion reports whether a dispersion value falls in the AF band.
+func IsAFDispersion(d float64) bool { return d >= AFIQRLow && d <= AFIQRHigh }
+
+// DetectAF slides a window over the beat sequence and returns merged
+// fibrillation episodes. Windows shorter than AFWindowBeats at the tail
+// are absorbed into the preceding decision. The whole-record fraction of
+// AF time is returned alongside the episodes.
+func DetectAF(beats []BeatInput) ([]AFEpisode, float64, error) {
+	if len(beats) < AFWindowBeats {
+		// Short strips: single decision over everything.
+		d, err := RRDispersion(beats)
+		if err != nil {
+			return nil, 0, err
+		}
+		if IsAFDispersion(d) {
+			return []AFEpisode{{Start: beats[0].Time, End: beats[len(beats)-1].Time}}, 1, nil
+		}
+		return nil, 0, nil
+	}
+	const step = AFWindowBeats / 4
+	type vote struct {
+		start, end float64
+		af         bool
+	}
+	var votes []vote
+	for o := 0; o+AFWindowBeats <= len(beats); o += step {
+		win := beats[o : o+AFWindowBeats]
+		d, err := RRDispersion(win)
+		if err != nil {
+			return nil, 0, err
+		}
+		votes = append(votes, vote{start: win[0].Time, end: win[len(win)-1].Time, af: IsAFDispersion(d)})
+	}
+	// Merge consecutive AF votes into episodes.
+	var episodes []AFEpisode
+	var afTime float64
+	total := beats[len(beats)-1].Time - beats[0].Time
+	for _, v := range votes {
+		if !v.af {
+			continue
+		}
+		if n := len(episodes); n > 0 && v.start <= episodes[n-1].End {
+			if v.end > episodes[n-1].End {
+				episodes[n-1].End = v.end
+			}
+		} else {
+			episodes = append(episodes, AFEpisode{Start: v.start, End: v.end})
+		}
+	}
+	for _, e := range episodes {
+		afTime += e.End - e.Start
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = math.Min(1, afTime/total)
+	}
+	return episodes, frac, nil
+}

@@ -1,0 +1,166 @@
+package holter
+
+import (
+	"testing"
+
+	"csecg/internal/core"
+	"csecg/internal/ecg"
+	"csecg/internal/metrics"
+	"csecg/internal/qrs"
+)
+
+// recordBeats detects beats on a record's native 360 Hz signal.
+func recordBeats(t testing.TB, id string, seconds float64) []BeatInput {
+	t.Helper()
+	rec, err := ecg.RecordByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := qrs.NewDetector(ecg.FsMITBIH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []BeatInput
+	for _, b := range det.DetectBeats(sig.MV[0]) {
+		beats = append(beats, BeatInput{
+			Time:        float64(b.Sample) / ecg.FsMITBIH,
+			Ventricular: b.Ventricular,
+		})
+	}
+	return beats
+}
+
+func TestRRDispersionValidation(t *testing.T) {
+	if _, err := RRDispersion(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := RRDispersion(syntheticBeats(5, 0.8, 0)); err == nil {
+		t.Error("too-few beats accepted")
+	}
+	d, err := RRDispersion(syntheticBeats(50, 0.8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Errorf("regular rhythm dispersion %v, want 0", d)
+	}
+}
+
+func TestAFDetectionAcrossDatabase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifies many records")
+	}
+	// Every record must classify correctly from detected beats — AF
+	// records as AF-dominant, everything else (sinus, PVC-heavy,
+	// APC-heavy, bradycardia) as not.
+	for _, rec := range ecg.Database() {
+		beats := recordBeats(t, rec.ID, 180)
+		_, frac, err := DetectAF(beats)
+		if err != nil {
+			t.Errorf("record %s: %v", rec.ID, err)
+			continue
+		}
+		if rec.Cfg.AF && frac < 0.6 {
+			t.Errorf("AF record %s detected AF fraction %.2f, want ≥ 0.6", rec.ID, frac)
+		}
+		if !rec.Cfg.AF && frac > 0.3 {
+			t.Errorf("non-AF record %s detected AF fraction %.2f, want ≤ 0.3", rec.ID, frac)
+		}
+	}
+}
+
+func TestAFDetectionShortStrip(t *testing.T) {
+	beats := recordBeats(t, "202", 45) // ≲ one window of beats
+	eps, frac, err := DetectAF(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1 || len(eps) != 1 {
+		t.Errorf("short AF strip: episodes %d frac %.2f", len(eps), frac)
+	}
+	beats = recordBeats(t, "100", 45)
+	_, frac, err = DetectAF(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Errorf("short sinus strip AF fraction %.2f", frac)
+	}
+}
+
+func TestAFEpisodesMerge(t *testing.T) {
+	beats := recordBeats(t, "219", 300)
+	eps, frac, err := DetectAF(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.6 {
+		t.Fatalf("record 219 AF fraction %.2f", frac)
+	}
+	// Episodes are disjoint and ordered.
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Start < eps[i-1].End {
+			t.Fatalf("episodes overlap: %+v", eps)
+		}
+	}
+	for _, e := range eps {
+		if e.End <= e.Start {
+			t.Fatalf("degenerate episode %+v", e)
+		}
+	}
+}
+
+func TestAFSurvivesCompression(t *testing.T) {
+	// The decisive clinical question: does the AF diagnosis survive the
+	// CS pipeline at the paper's operating point?
+	rec, err := ecg.RecordByID("202")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc, err := rec.Channel256(180, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{Seed: 0xAF, M: metrics.MForCR(50, core.WindowSize)}
+	enc, err := core.NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecoder[float32](p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recon []float64
+	for o := 0; o+core.WindowSize <= len(adc); o += core.WindowSize {
+		pkt, err := enc.EncodeWindow(adc[o : o+core.WindowSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := dec.DecodePacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range out.Samples {
+			recon = append(recon, float64(s))
+		}
+	}
+	det, err := qrs.NewDetector(core.FsMote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []BeatInput
+	for _, b := range det.DetectBeats(recon) {
+		beats = append(beats, BeatInput{Time: float64(b.Sample) / core.FsMote, Ventricular: b.Ventricular})
+	}
+	_, frac, err := DetectAF(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.6 {
+		t.Errorf("AF fraction on reconstruction %.2f, diagnosis lost", frac)
+	}
+}

@@ -1,0 +1,139 @@
+package holter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frequency-domain HRV. RR series are sampled at the (irregular) beat
+// times, so the standard tool is the Lomb-Scargle periodogram, which
+// handles uneven sampling without interpolation artifacts.
+
+// Standard short-term HRV bands (Task Force of the ESC/NASPE, 1996).
+const (
+	// LFLow..LFHigh is the low-frequency band (sympathetic +
+	// parasympathetic drive).
+	LFLow  = 0.04
+	LFHigh = 0.15
+	// HFLow..HFHigh is the high-frequency band (respiratory sinus
+	// arrhythmia).
+	HFLow  = 0.15
+	HFHigh = 0.40
+)
+
+// LombScargle evaluates the normalized Lomb-Scargle periodogram of the
+// series (t, x) at the given frequencies (Hz). It returns an error for
+// degenerate inputs (mismatched lengths, fewer than 4 points, or zero
+// variance).
+func LombScargle(t, x []float64, freqs []float64) ([]float64, error) {
+	if len(t) != len(x) {
+		return nil, fmt.Errorf("holter: time/value length mismatch %d vs %d", len(t), len(x))
+	}
+	if len(t) < 4 {
+		return nil, fmt.Errorf("holter: %d points, need at least 4", len(t))
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var variance float64
+	centered := make([]float64, len(x))
+	for i, v := range x {
+		centered[i] = v - mean
+		variance += centered[i] * centered[i]
+	}
+	variance /= float64(len(x) - 1)
+	if variance == 0 {
+		return nil, fmt.Errorf("holter: zero-variance series")
+	}
+	out := make([]float64, len(freqs))
+	for k, f := range freqs {
+		if f <= 0 {
+			return nil, fmt.Errorf("holter: non-positive frequency %v", f)
+		}
+		omega := 2 * math.Pi * f
+		// Time offset τ decouples the sine and cosine sums.
+		var s2, c2 float64
+		for _, tj := range t {
+			s2 += math.Sin(2 * omega * tj)
+			c2 += math.Cos(2 * omega * tj)
+		}
+		tau := math.Atan2(s2, c2) / (2 * omega)
+		var cNum, cDen, sNum, sDen float64
+		for i, tj := range t {
+			arg := omega * (tj - tau)
+			c := math.Cos(arg)
+			s := math.Sin(arg)
+			cNum += centered[i] * c
+			cDen += c * c
+			sNum += centered[i] * s
+			sDen += s * s
+		}
+		p := 0.0
+		if cDen > 0 {
+			p += cNum * cNum / cDen
+		}
+		if sDen > 0 {
+			p += sNum * sNum / sDen
+		}
+		out[k] = p / (2 * variance)
+	}
+	return out, nil
+}
+
+// SpectralHRV holds band powers from the RR periodogram.
+type SpectralHRV struct {
+	// LFPower and HFPower are the integrated normalized periodogram
+	// over the standard bands.
+	LFPower, HFPower float64
+	// LFHFRatio is their ratio (sympathovagal balance index).
+	LFHFRatio float64
+	// PeakHz is the frequency of the largest periodogram value across
+	// both bands.
+	PeakHz float64
+}
+
+// AnalyzeSpectral computes LF/HF band powers from a beat sequence,
+// using normal-to-normal intervals at their beat times. The periodogram
+// is evaluated on a 0.005 Hz grid spanning both bands.
+func AnalyzeSpectral(beats []BeatInput) (*SpectralHRV, error) {
+	var times, rrs []float64
+	for i := 1; i < len(beats); i++ {
+		if beats[i].Ventricular || beats[i-1].Ventricular {
+			continue
+		}
+		times = append(times, beats[i].Time)
+		rrs = append(rrs, beats[i].Time-beats[i-1].Time)
+	}
+	if len(rrs) < 16 {
+		return nil, fmt.Errorf("holter: %d normal-to-normal intervals, need at least 16", len(rrs))
+	}
+	const df = 0.005
+	var freqs []float64
+	for f := LFLow; f <= HFHigh+1e-9; f += df {
+		freqs = append(freqs, f)
+	}
+	p, err := LombScargle(times, rrs, freqs)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpectralHRV{}
+	best := -1.0
+	for i, f := range freqs {
+		switch {
+		case f < LFHigh:
+			res.LFPower += p[i] * df
+		default:
+			res.HFPower += p[i] * df
+		}
+		if p[i] > best {
+			best = p[i]
+			res.PeakHz = f
+		}
+	}
+	if res.HFPower > 0 {
+		res.LFHFRatio = res.LFPower / res.HFPower
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package holter
+
+import (
+	"math"
+	"testing"
+
+	"csecg/internal/ecg"
+	"csecg/internal/rng"
+)
+
+func TestLombScargleValidation(t *testing.T) {
+	if _, err := LombScargle([]float64{1, 2}, []float64{1}, []float64{0.1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LombScargle([]float64{1, 2, 3}, []float64{1, 2, 3}, []float64{0.1}); err == nil {
+		t.Error("too-few points accepted")
+	}
+	flat := []float64{1, 1, 1, 1, 1}
+	ts := []float64{0, 1, 2, 3, 4}
+	if _, err := LombScargle(ts, flat, []float64{0.1}); err == nil {
+		t.Error("zero variance accepted")
+	}
+	if _, err := LombScargle(ts, []float64{1, 2, 1, 2, 1}, []float64{0}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestLombScargleFindsToneOnIrregularGrid(t *testing.T) {
+	// A 0.2 Hz tone sampled at jittered times must peak at 0.2 Hz.
+	gen := rng.New(7)
+	var ts, xs []float64
+	t0 := 0.0
+	for t0 < 300 {
+		t0 += 0.7 + 0.3*gen.Float64() // irregular ~1 Hz sampling
+		ts = append(ts, t0)
+		xs = append(xs, math.Sin(2*math.Pi*0.2*t0)+0.1*gen.NormFloat64())
+	}
+	var freqs []float64
+	for f := 0.02; f <= 0.45; f += 0.005 {
+		freqs = append(freqs, f)
+	}
+	p, err := LombScargle(ts, xs, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	if got := freqs[best]; math.Abs(got-0.2) > 0.01 {
+		t.Errorf("peak at %.3f Hz, want 0.2", got)
+	}
+}
+
+func TestAnalyzeSpectralRespirationPeak(t *testing.T) {
+	// The generator couples respiration at RespRateHz into the RR series
+	// (respiratory sinus arrhythmia); the spectral HRV must find it in
+	// the HF band at the right frequency.
+	cfg := ecg.Config{
+		HeartRateBPM: 70, HRVariability: 0.02, RespRateHz: 0.25,
+		AmplitudeScale: 1, Seed: 41,
+	}
+	sig, err := ecg.Generate(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []BeatInput
+	for _, a := range sig.Ann {
+		beats = append(beats, BeatInput{Time: a.Time, Ventricular: a.Type == ecg.PVC})
+	}
+	res, err := AnalyzeSpectral(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PeakHz-0.25) > 0.02 {
+		t.Errorf("spectral peak at %.3f Hz, want the 0.25 Hz respiration", res.PeakHz)
+	}
+	if res.HFPower <= res.LFPower {
+		t.Errorf("HF power %.3f not above LF %.3f with 0.25 Hz respiration", res.HFPower, res.LFPower)
+	}
+	if res.LFHFRatio >= 1 {
+		t.Errorf("LF/HF ratio %.2f, want < 1", res.LFHFRatio)
+	}
+}
+
+func TestAnalyzeSpectralSlowModulation(t *testing.T) {
+	// Move the modulation into the LF band: the balance must flip.
+	cfg := ecg.Config{
+		HeartRateBPM: 70, HRVariability: 0.02, RespRateHz: 0.08,
+		AmplitudeScale: 1, Seed: 42,
+	}
+	sig, err := ecg.Generate(cfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []BeatInput
+	for _, a := range sig.Ann {
+		beats = append(beats, BeatInput{Time: a.Time})
+	}
+	res, err := AnalyzeSpectral(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PeakHz-0.08) > 0.02 {
+		t.Errorf("spectral peak at %.3f Hz, want 0.08", res.PeakHz)
+	}
+	if res.LFPower <= res.HFPower {
+		t.Errorf("LF power %.3f not above HF %.3f with 0.08 Hz modulation", res.LFPower, res.HFPower)
+	}
+}
+
+func TestAnalyzeSpectralValidation(t *testing.T) {
+	if _, err := AnalyzeSpectral(syntheticBeats(10, 0.8, 0)); err == nil {
+		t.Error("too-few beats accepted")
+	}
+	// All-ventricular: no NN intervals.
+	if _, err := AnalyzeSpectral(syntheticBeats(40, 0.8, 1)); err == nil {
+		t.Error("all-ventricular accepted")
+	}
+}
+
+func BenchmarkAnalyzeSpectral5min(b *testing.B) {
+	cfg := ecg.Config{
+		HeartRateBPM: 70, HRVariability: 0.04, RespRateHz: 0.25,
+		AmplitudeScale: 1, Seed: 43,
+	}
+	sig, _ := ecg.Generate(cfg, 300)
+	var beats []BeatInput
+	for _, a := range sig.Ann {
+		beats = append(beats, BeatInput{Time: a.Time})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeSpectral(beats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package huffman
+
+import "testing"
+
+// FuzzDeserialize hardens the codebook loader: arbitrary bytes must
+// never panic, and an accepted codebook must round-trip symbols.
+func FuzzDeserialize(f *testing.F) {
+	freq := make([]int, 512)
+	for i := range freq {
+		d := i - 256
+		if d < 0 {
+			d = -d
+		}
+		freq[i] = 1 + 10000/(1+d)
+	}
+	cb, err := Train(freq)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cb.Serialize())
+	f.Add([]byte{})
+	f.Add([]byte{0x16, 0xCB, 0x00, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		// An accepted codebook must encode/decode its first coded
+		// symbol consistently.
+		for s := 0; s < got.NumSymbols(); s++ {
+			if got.CodeLen(s) == 0 {
+				continue
+			}
+			blob, _, err := got.EncodeAll([]int{s})
+			if err != nil {
+				t.Fatalf("accepted codebook cannot encode symbol %d: %v", s, err)
+			}
+			back, err := got.DecodeAll(blob, 1)
+			if err != nil || back[0] != s {
+				t.Fatalf("round trip failed for symbol %d: %v %v", s, back, err)
+			}
+			break
+		}
+	})
+}
+
+// FuzzDecodeStream hardens the canonical decoder against garbage
+// bitstreams: it must either error or return in-range symbols, and the
+// accepted prefix must re-encode to the same bits.
+func FuzzDecodeStream(f *testing.F) {
+	freq := make([]int, 64)
+	for i := range freq {
+		freq[i] = 1 + (64-i)*(64-i)
+	}
+	cb, err := Train(freq)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, _, _ := cb.EncodeAll([]int{0, 5, 63, 17})
+	f.Add(valid, 4)
+	f.Add([]byte{0xFF, 0xFF, 0xFF}, 10)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1024 {
+			return
+		}
+		symbols, err := cb.DecodeAll(data, count)
+		if err != nil {
+			return
+		}
+		w := NewBitWriter()
+		for _, s := range symbols {
+			if s < 0 || s >= 64 {
+				t.Fatalf("decoded out-of-range symbol %d", s)
+			}
+			if err := cb.Encode(w, s); err != nil {
+				t.Fatalf("re-encoding decoded symbol %d: %v", s, err)
+			}
+		}
+		re := w.Bytes()
+		// The re-encoded stream must be a bit-prefix of the input.
+		for i := range re {
+			if i == len(re)-1 {
+				break // final byte may differ in padding bits
+			}
+			if i < len(data) && re[i] != data[i] {
+				t.Fatalf("re-encoded stream diverges at byte %d", i)
+			}
+		}
+	})
+}

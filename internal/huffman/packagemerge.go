@@ -1,0 +1,126 @@
+package huffman
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LengthLimitedCodeLengths computes optimal prefix-code lengths for the
+// given symbol frequencies under a maximum codeword length, using the
+// package-merge algorithm (Larmore & Hirschberg 1990). Frequencies of
+// zero are allowed; such symbols receive length 0 (no codeword). The
+// returned lengths satisfy the Kraft equality Σ 2^{−len} = 1 over coded
+// symbols (when more than one symbol is coded).
+//
+// The paper's codebook is "complete" — all 512 difference symbols get a
+// codeword — which callers achieve by add-one smoothing before training.
+func LengthLimitedCodeLengths(freq []int, maxLen int) ([]int, error) {
+	n := len(freq)
+	if n == 0 {
+		return nil, fmt.Errorf("huffman: empty alphabet")
+	}
+	if maxLen < 1 || maxLen > 57 {
+		return nil, fmt.Errorf("huffman: max length %d out of [1, 57]", maxLen)
+	}
+	type leaf struct {
+		sym  int
+		freq int
+	}
+	var leaves []leaf
+	for s, f := range freq {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", s)
+		}
+		if f > 0 {
+			leaves = append(leaves, leaf{s, f})
+		}
+	}
+	lengths := make([]int, n)
+	switch len(leaves) {
+	case 0:
+		return nil, fmt.Errorf("huffman: all frequencies zero")
+	case 1:
+		// A single coded symbol still needs one bit on the wire.
+		lengths[leaves[0].sym] = 1
+		return lengths, nil
+	}
+	if 1<<uint(maxLen) < len(leaves) {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", len(leaves), maxLen)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].freq < leaves[j].freq })
+
+	// Package-merge. An item is either a leaf or a package of two items
+	// from the previous level. Selecting the cheapest 2(k−1) items of the
+	// final merged list (k = #leaves) increments each contained leaf's
+	// code length once per containment.
+	type item struct {
+		weight int64
+		count  []int32 // per-leaf-multiplicity of this item (indexed by leaves order)
+	}
+	mkLeafItems := func() []item {
+		items := make([]item, len(leaves))
+		for i, lf := range leaves {
+			c := make([]int32, len(leaves))
+			c[i] = 1
+			items[i] = item{weight: int64(lf.freq), count: c}
+		}
+		return items
+	}
+	merge := func(a, b []item) []item {
+		out := make([]item, 0, len(a)+len(b))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].weight <= b[j].weight {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
+		return out
+	}
+	pack := func(items []item) []item {
+		out := make([]item, 0, len(items)/2)
+		for i := 0; i+1 < len(items); i += 2 {
+			c := make([]int32, len(leaves))
+			for k := range c {
+				c[k] = items[i].count[k] + items[i+1].count[k]
+			}
+			out = append(out, item{weight: items[i].weight + items[i+1].weight, count: c})
+		}
+		return out
+	}
+	list := mkLeafItems()
+	for level := 1; level < maxLen; level++ {
+		list = merge(pack(list), mkLeafItems())
+	}
+	need := 2 * (len(leaves) - 1)
+	if len(list) < need {
+		return nil, fmt.Errorf("huffman: package-merge shortfall (%d items, need %d)", len(list), need)
+	}
+	tally := make([]int32, len(leaves))
+	for _, it := range list[:need] {
+		for k, c := range it.count {
+			tally[k] += c
+		}
+	}
+	for i, lf := range leaves {
+		lengths[lf.sym] = int(tally[i])
+	}
+	return lengths, nil
+}
+
+// kraftSum returns Σ 2^{−len} scaled by 2^{maxLen} for exact integer
+// comparison; used by validation and tests.
+func kraftSum(lengths []int, maxLen int) int64 {
+	var s int64
+	for _, l := range lengths {
+		if l > 0 {
+			s += int64(1) << uint(maxLen-l)
+		}
+	}
+	return s
+}

@@ -1,0 +1,405 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDotBasic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot([]float32{0.5, 0.5}, []float32{2, 2}); got != 2 {
+		t.Errorf("Dot float32 = %v, want 2", got)
+	}
+}
+
+func TestDot4MatchesDot(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, v := range raw {
+			// Keep magnitudes sane so reassociation error stays tiny.
+			a[i] = math.Mod(v, 100)
+			b[i] = math.Mod(v*3.7, 100)
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+				a[i], b[i] = 1, 1
+			}
+		}
+		want := Dot(a, b)
+		got := Dot4(a, b)
+		return almostEq(got, want, 1e-6*(1+math.Abs(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDot4TailLengths(t *testing.T) {
+	// Exercise every leftover count A ∈ {0,1,2,3} of Fig. 3.
+	for n := 0; n <= 9; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i + 1)
+			b[i] = float64(2 * (i + 1))
+		}
+		if got, want := Dot4(a, b), Dot(a, b); got != want {
+			t.Errorf("n=%d: Dot4 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpyVariants(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		x := make([]float64, n)
+		d1 := make([]float64, n)
+		d2 := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) - 2.5
+			d1[i] = float64(i) * 0.5
+			d2[i] = d1[i]
+		}
+		Axpy(1.5, x, d1)
+		Axpy4(1.5, x, d2)
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Errorf("n=%d i=%d: Axpy=%v Axpy4=%v", n, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+func TestSoftThresholdCases(t *testing.T) {
+	u := []float64{3, -3, 0.5, -0.5, 0, 1.0001, -1.0001}
+	want := []float64{2, -2, 0, 0, 0, 0.0001, -0.0001}
+	dst := make([]float64, len(u))
+	SoftThreshold(dst, u, 1)
+	for i := range want {
+		if !almostEq(dst[i], want[i], 1e-12) {
+			t.Errorf("SoftThreshold[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestSoftThreshold4MatchesScalar(t *testing.T) {
+	f := func(raw []float64, tRaw float64) bool {
+		t0 := math.Abs(math.Mod(tRaw, 5))
+		u := make([]float64, len(raw))
+		for i, v := range raw {
+			u[i] = math.Mod(v, 10)
+			if math.IsNaN(u[i]) {
+				u[i] = 0
+			}
+		}
+		d1 := make([]float64, len(u))
+		d2 := make([]float64, len(u))
+		SoftThreshold(d1, u, t0)
+		SoftThreshold4(d2, u, t0)
+		for i := range d1 {
+			if !almostEq(d1[i], d2[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftThresholdShrinksTowardZero(t *testing.T) {
+	// Property: |prox(u)| ≤ |u| and sign preserved (or zero).
+	f := func(v, tRaw float64) bool {
+		tt := math.Abs(math.Mod(tRaw, 3))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got := shrinkBranchless(v, tt)
+		if math.Abs(got) > math.Abs(v)+1e-12 {
+			return false
+		}
+		return got == 0 || (got > 0) == (v > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := Norm2([]float64{}); got != 0 {
+		t.Errorf("Norm2(empty) = %v, want 0", got)
+	}
+}
+
+func TestNorm2NoOverflowFloat32(t *testing.T) {
+	x := []float32{3e19, 4e19}
+	if got := Norm2(x); math.IsInf(float64(got), 0) {
+		t.Error("Norm2 float32 overflowed; scaling missing")
+	} else if !almostEq(float64(got), 5e19, 1e15) {
+		t.Errorf("Norm2 = %v, want 5e19", got)
+	}
+}
+
+func TestSubCombine(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1}
+	dst := make([]float64, 5)
+	Sub(dst, a, b)
+	want := []float64{-4, -2, 0, 2, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("Sub[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	d4 := make([]float64, 5)
+	Sub4(d4, a, b)
+	for i := range want {
+		if d4[i] != want[i] {
+			t.Errorf("Sub4[%d] = %v, want %v", i, d4[i], want[i])
+		}
+	}
+	// Combine4: dst = a + 0.5*(a−b)
+	Combine4(dst, a, b, 0.5)
+	for i := range a {
+		w := a[i] + 0.5*(a[i]-b[i])
+		if !almostEq(dst[i], w, 1e-12) {
+			t.Errorf("Combine4[%d] = %v, want %v", i, dst[i], w)
+		}
+	}
+}
+
+func TestDenseMatVec(t *testing.T) {
+	m := NewDense[float64](2, 3)
+	// [1 2 3; 4 5 6]
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	dst := make([]float64, 2)
+	m.MatVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Errorf("MatVec = %v, want [6 15]", dst)
+	}
+	dt := make([]float64, 3)
+	m.MatTVec(dt, []float64{1, 1})
+	if dt[0] != 5 || dt[1] != 7 || dt[2] != 9 {
+		t.Errorf("MatTVec = %v, want [5 7 9]", dt)
+	}
+}
+
+func TestDensePanics(t *testing.T) {
+	m := NewDense[float64](2, 3)
+	for _, fn := range []func(){
+		func() { m.MatVec(make([]float64, 2), make([]float64, 2)) },
+		func() { m.MatTVec(make([]float64, 3), make([]float64, 3)) },
+		func() { NewDense[float64](0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on dimension error")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerIterKnownMatrix(t *testing.T) {
+	// diag(3, 1): top singular value 3, so ‖A‖₂² estimate... PowerIterOpNorm
+	// returns λ_max(AᵀA) = 9.
+	m := NewDense[float64](2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	got := PowerIterOpNorm(OpFromDense(m), 50)
+	if !almostEq(got, 9, 1e-6) {
+		t.Errorf("PowerIterOpNorm = %v, want 9", got)
+	}
+}
+
+func TestPowerIterAtLeastGramDiag(t *testing.T) {
+	m := NewDense[float64](20, 30)
+	state := uint64(99)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 30; j++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			m.Set(i, j, float64(int64(state%2001)-1000)/1000)
+		}
+	}
+	lam := PowerIterOpNorm(OpFromDense(m), 100)
+	if lam < m.GramDiagMax()-1e-9 {
+		t.Errorf("operator norm %v below Gram diagonal bound %v", lam, m.GramDiagMax())
+	}
+}
+
+func TestAdjointMismatchDetectsBug(t *testing.T) {
+	m := NewDense[float64](4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, float64(i+j)+0.5)
+		}
+	}
+	good := OpFromDense(m)
+	if mm := AdjointMismatch(good, 4); mm > 1e-10 {
+		t.Errorf("correct adjoint reported mismatch %v", mm)
+	}
+	// Break the adjoint: scale it by 2.
+	bad := good
+	bad.ApplyT = func(dst, y []T64) {
+		m.MatTVec(dst, y)
+		Scale(2, dst)
+	}
+	if mm := AdjointMismatch(bad, 4); mm < 0.1 {
+		t.Errorf("broken adjoint reported mismatch %v, want large", mm)
+	}
+}
+
+// T64 aliases float64 for the closure above.
+type T64 = float64
+
+func TestCompose(t *testing.T) {
+	// outer = [[2,0],[0,3]], inner = [[1,1],[1,-1]] (2x2 each)
+	outer := NewDense[float64](2, 2)
+	outer.Set(0, 0, 2)
+	outer.Set(1, 1, 3)
+	inner := NewDense[float64](2, 2)
+	inner.Set(0, 0, 1)
+	inner.Set(0, 1, 1)
+	inner.Set(1, 0, 1)
+	inner.Set(1, 1, -1)
+	comp := Compose(OpFromDense(outer), OpFromDense(inner))
+	dst := make([]float64, 2)
+	comp.Apply(dst, []float64{1, 2})
+	// inner*[1,2] = [3,-1]; outer*[3,-1] = [6,-3]
+	if dst[0] != 6 || dst[1] != -3 {
+		t.Errorf("Compose Apply = %v, want [6 -3]", dst)
+	}
+	if mm := AdjointMismatch(comp, 3); mm > 1e-10 {
+		t.Errorf("Compose adjoint mismatch %v", mm)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1}); got != 1 {
+		t.Errorf("MaxAbsDiff = %v, want 1", got)
+	}
+}
+
+func TestFillAndCopyInto(t *testing.T) {
+	d := make([]float64, 4)
+	Fill(d, 7)
+	for _, v := range d {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	s := []float64{1, 2, 3, 4}
+	CopyInto(d, s)
+	if d[3] != 4 {
+		t.Fatal("CopyInto failed")
+	}
+}
+
+// Benchmarks backing the Figs. 3-5 vectorization study: scalar vs 4-wide
+// unrolled kernels at the solver's working sizes (N=512 coefficients,
+// M=256 measurements).
+
+func benchVecs(n int) ([]float32, []float32, []float32) {
+	a := make([]float32, n)
+	b := make([]float32, n)
+	c := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i%17) - 8
+		b[i] = float32(i%23) - 11
+	}
+	return a, b, c
+}
+
+func BenchmarkKernelScalarDot512(b *testing.B) {
+	x, y, _ := benchVecs(512)
+	var s float32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += Dot(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkKernelUnrolledDot512(b *testing.B) {
+	x, y, _ := benchVecs(512)
+	var s float32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += Dot4(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkKernelScalarSoftThresh512(b *testing.B) {
+	x, _, dst := benchVecs(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftThreshold(dst, x, 2)
+	}
+}
+
+func BenchmarkKernelUnrolledSoftThresh512(b *testing.B) {
+	x, _, dst := benchVecs(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftThreshold4(dst, x, 2)
+	}
+}
+
+func BenchmarkKernelScalarAxpy512(b *testing.B) {
+	x, _, dst := benchVecs(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(1.001, x, dst)
+	}
+}
+
+func BenchmarkKernelUnrolledAxpy512(b *testing.B) {
+	x, _, dst := benchVecs(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy4(1.001, x, dst)
+	}
+}
+
+func BenchmarkDenseMatVec256x512(b *testing.B) {
+	m := NewDense[float32](256, 512)
+	for i := 0; i < 256; i++ {
+		for j := 0; j < 512; j++ {
+			m.Set(i, j, float32((i*j)%7)-3)
+		}
+	}
+	x := make([]float32, 512)
+	dst := make([]float32, 256)
+	for i := range x {
+		x[i] = float32(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}

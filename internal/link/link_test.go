@@ -1,0 +1,136 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"csecg/internal/core"
+)
+
+func TestAirtime(t *testing.T) {
+	l, err := New(Config{EffectiveBitrate: 100_000, OverheadBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 payload + 10 overhead = 800 bits at 100 kbit/s = 8 ms.
+	if got := l.Airtime(90); got != 8*time.Millisecond {
+		t.Errorf("Airtime = %v, want 8ms", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{EffectiveBitrate: 0},
+		{EffectiveBitrate: 1000, DropProb: -0.1},
+		{EffectiveBitrate: 1000, DropProb: 1.5},
+		{EffectiveBitrate: 1000, BitFlipProb: 2},
+		{EffectiveBitrate: 1000, OverheadBytes: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCleanLinkDeliversIntact(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	frame := []byte{1, 2, 3, 4, 5}
+	rx, at := l.Transmit(frame)
+	if rx == nil {
+		t.Fatal("clean link dropped a frame")
+	}
+	if at <= 0 {
+		t.Error("zero airtime")
+	}
+	for i := range frame {
+		if rx[i] != frame[i] {
+			t.Fatal("clean link corrupted a frame")
+		}
+	}
+	// The returned slice must be a copy, not an alias.
+	rx[0] = 99
+	if frame[0] == 99 {
+		t.Error("Transmit aliases the input frame")
+	}
+}
+
+func TestDropRateApproximate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DropProb = 0.3
+	cfg.Seed = 7
+	l, _ := New(cfg)
+	frame := make([]byte, 50)
+	const n = 5000
+	delivered := 0
+	for i := 0; i < n; i++ {
+		if rx, _ := l.Transmit(frame); rx != nil {
+			delivered++
+		}
+	}
+	got := 1 - float64(delivered)/n
+	if math.Abs(got-0.3) > 0.03 {
+		t.Errorf("observed drop rate %v, want ≈0.3", got)
+	}
+	st := l.Stats()
+	if st.Sent != n || st.Dropped != int64(n-delivered) {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	if st.Airtime <= 0 || st.BytesOnAir != int64(n*(50+cfg.OverheadBytes)) {
+		t.Errorf("airtime accounting wrong: %+v", st)
+	}
+}
+
+func TestCorruptionIsDetectedByPacketChecksum(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BitFlipProb = 0.0005 // ≈23% of 526-byte frames take at least one flip
+	cfg.Seed = 3
+	l, _ := New(cfg)
+	pkt := &core.Packet{Seq: 1, Kind: core.KindKey, Payload: make([]byte, 512)}
+	const n = 400
+	var delivered, rejected int
+	for i := 0; i < n; i++ {
+		rx, _, err := l.TransmitPacket(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rx != nil {
+			delivered++
+			// Anything delivered must be intact.
+			if rx.Seq != 1 || len(rx.Payload) != 512 {
+				t.Fatal("corrupted packet slipped through the checksum")
+			}
+		} else {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("2% per-byte flips never caused a rejection over 400 packets")
+	}
+	if delivered == 0 {
+		t.Error("every packet rejected; corruption model too aggressive")
+	}
+	if st := l.Stats(); st.Corrupted == 0 {
+		t.Error("corruption counter not incremented")
+	}
+}
+
+func TestTransmitPacketRoundTrip(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	pkt := &core.Packet{Seq: 9, Kind: core.KindDelta, NumSymbols: 256, Payload: []byte{1, 2, 3}}
+	rx, at, err := l.TransmitPacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx == nil {
+		t.Fatal("clean link dropped packet")
+	}
+	if rx.Seq != 9 || rx.Kind != core.KindDelta || rx.NumSymbols != 256 {
+		t.Errorf("packet fields mangled: %+v", rx)
+	}
+	wantAt := l.Airtime(pkt.WireSize())
+	if at != wantAt {
+		t.Errorf("airtime %v, want %v", at, wantAt)
+	}
+}

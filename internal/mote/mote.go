@@ -1,0 +1,216 @@
+// Package mote models the encoder-side embedded platform: a Shimmer-like
+// wireless node built around a 16-bit MSP430-class microcontroller at
+// 8 MHz with a hardware multiplier, no FPU, 10 kB RAM and 48 kB flash.
+//
+// The actual encoder arithmetic is executed by internal/core using
+// exactly the integer operations an MSP430 build performs; this package
+// adds what silicon would add — a calibrated cycle-cost model, a memory-
+// footprint accountant, and the real-time/CPU-usage bookkeeping that the
+// paper reports (82 ms to CS-sample a 2-second window, < 5 % average CPU,
+// 6.5 kB RAM / 7.5 kB flash).
+package mote
+
+import (
+	"fmt"
+	"time"
+
+	"csecg/internal/core"
+	"csecg/internal/huffman"
+)
+
+// ClockHz is the MSP430F1611 system clock of the Shimmer mainboard.
+const ClockHz = 8e6
+
+// Costs holds per-operation cycle costs of the encoder's inner loops.
+// The defaults are calibrated so the measurement stage of the default
+// configuration (N=512, d=12) takes the paper's measured 82 ms: the
+// dominant loop regenerates one support index (LCG16 draw, multiply-
+// shift range reduction, rejection bookkeeping) and performs one
+// 32-bit indexed add per nonzero, on a CPU whose native word is 16 bits.
+type Costs struct {
+	// SupportDraw covers one LCG16 step plus range reduction via the
+	// hardware multiplier and duplicate rejection.
+	SupportDraw int64
+	// Add32 is a 32-bit accumulate through two 16-bit adds with carry,
+	// with indexed addressing on both operands.
+	Add32 int64
+	// LoopNonzero is the per-nonzero loop overhead (pointer updates,
+	// compare, branch).
+	LoopNonzero int64
+	// ShiftPerMeasurement covers the rounding right-shift of one
+	// measurement.
+	ShiftPerMeasurement int64
+	// DiffPerMeasurement covers one 32-bit subtract plus range test.
+	DiffPerMeasurement int64
+	// HuffmanPerSymbol covers the codebook lookup and length fetch.
+	HuffmanPerSymbol int64
+	// HuffmanPerBit covers shifting one bit into the output buffer.
+	HuffmanPerBit int64
+	// PacketPerByte covers framing/checksum per output byte.
+	PacketPerByte int64
+}
+
+// DefaultCosts returns the calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		SupportDraw:         60,
+		Add32:               25,
+		LoopNonzero:         22,
+		ShiftPerMeasurement: 12,
+		DiffPerMeasurement:  18,
+		HuffmanPerSymbol:    45,
+		HuffmanPerBit:       6,
+		PacketPerByte:       10,
+	}
+}
+
+// Model is an instrumented encoder: it runs the real core.Encoder and
+// reports modeled MSP430 cycle counts alongside each packet.
+type Model struct {
+	enc   *core.Encoder
+	costs Costs
+
+	totalCycles  int64
+	totalWindows int64
+}
+
+// New builds a mote model around the given pipeline parameters.
+func New(p core.Params) (*Model, error) {
+	enc, err := core.NewEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{enc: enc, costs: DefaultCosts()}, nil
+}
+
+// SetCosts overrides the cycle-cost calibration.
+func (m *Model) SetCosts(c Costs) { m.costs = c }
+
+// Params returns the resolved pipeline parameters.
+func (m *Model) Params() core.Params { return m.enc.Params() }
+
+// Report describes the modeled execution of one window.
+type Report struct {
+	// Packet is the encoded output.
+	Packet *core.Packet
+	// MeasureCycles, ShiftCycles, DiffCycles, EntropyCycles and
+	// FramingCycles break down the stage costs.
+	MeasureCycles, ShiftCycles, DiffCycles, EntropyCycles, FramingCycles int64
+	// TotalCycles is the window's full encode cost.
+	TotalCycles int64
+	// EncodeTime is TotalCycles at the 8 MHz clock.
+	EncodeTime time.Duration
+	// CPUUsage is EncodeTime over the 2-second window period.
+	CPUUsage float64
+	// RealTime reports whether the encode fits in the window period.
+	RealTime bool
+}
+
+// EncodeWindow compresses one window and reports the modeled cost.
+func (m *Model) EncodeWindow(window []int16) (*Report, error) {
+	pkt, err := m.enc.EncodeWindow(window)
+	if err != nil {
+		return nil, err
+	}
+	p := m.enc.Params()
+	c := m.costs
+	nnz := int64(p.N) * int64(p.D)
+	r := &Report{Packet: pkt}
+	r.MeasureCycles = nnz * (c.SupportDraw + c.Add32 + c.LoopNonzero)
+	r.ShiftCycles = int64(p.M) * c.ShiftPerMeasurement
+	if pkt.Kind == core.KindDelta {
+		r.DiffCycles = int64(p.M) * c.DiffPerMeasurement
+		payloadBits := int64(len(pkt.Payload)) * 8
+		r.EntropyCycles = int64(pkt.NumSymbols)*c.HuffmanPerSymbol + payloadBits*c.HuffmanPerBit
+	}
+	r.FramingCycles = int64(pkt.WireSize()) * c.PacketPerByte
+	r.TotalCycles = r.MeasureCycles + r.ShiftCycles + r.DiffCycles + r.EntropyCycles + r.FramingCycles
+	r.EncodeTime = time.Duration(float64(r.TotalCycles) / ClockHz * float64(time.Second))
+	window2s := float64(p.N) / core.FsMote
+	r.CPUUsage = r.EncodeTime.Seconds() / window2s
+	r.RealTime = r.EncodeTime.Seconds() <= window2s
+	m.totalCycles += r.TotalCycles
+	m.totalWindows++
+	return r, nil
+}
+
+// AverageCPUUsage returns the mean CPU usage over all encoded windows.
+func (m *Model) AverageCPUUsage() float64 {
+	if m.totalWindows == 0 {
+		return 0
+	}
+	p := m.enc.Params()
+	window := float64(p.N) / core.FsMote
+	return float64(m.totalCycles) / ClockHz / (float64(m.totalWindows) * window)
+}
+
+// MeasurementLatency returns the modeled time of the CS measurement
+// stage alone — the figure the paper quotes as "a 2-second vector is now
+// CS-sampled in 82 ms" for d = 12.
+func (m *Model) MeasurementLatency() time.Duration {
+	p := m.enc.Params()
+	c := m.costs
+	nnz := int64(p.N) * int64(p.D)
+	cycles := nnz * (c.SupportDraw + c.Add32 + c.LoopNonzero)
+	return time.Duration(float64(cycles) / ClockHz * float64(time.Second))
+}
+
+// Memory describes the static footprint of the encoder build.
+type Memory struct {
+	// RAM components (bytes).
+	SampleBuffers, MeasurementState, SymbolScratch, PacketBuffer, BTStack, StackMisc int
+	// Flash components (bytes).
+	CodeFlash, CodebookFlash int
+}
+
+// RAMTotal sums the RAM components.
+func (mem Memory) RAMTotal() int {
+	return mem.SampleBuffers + mem.MeasurementState + mem.SymbolScratch +
+		mem.PacketBuffer + mem.BTStack + mem.StackMisc
+}
+
+// FlashTotal sums the flash components.
+func (mem Memory) FlashTotal() int { return mem.CodeFlash + mem.CodebookFlash }
+
+// MemoryFootprint accounts the encoder's RAM and flash consumption for
+// the configured parameters, mirroring the paper's 6.5 kB RAM / 7.5 kB
+// flash (1.5 kB of it codebook) budget at the default configuration.
+func (m *Model) MemoryFootprint() Memory {
+	p := m.enc.Params()
+	return Memory{
+		// Double-buffered 2-second sample window (ping-pong so the ADC
+		// fills one while the other is encoded).
+		SampleBuffers: 2 * p.N * 2,
+		// Current and previous measurement vectors, 16-bit after the
+		// LSB drop.
+		MeasurementState: 2 * p.M * 2,
+		// Difference/symbol scratch shared with the bit writer.
+		SymbolScratch: p.M * 2,
+		// One framed packet in flight to the Bluetooth module.
+		PacketBuffer: 640,
+		// Bluetooth stack working set (connection state, FIFO).
+		BTStack: 1536,
+		// Call stack and globals of the remaining firmware.
+		StackMisc: 896,
+		// Encoder code: measurement, difference, entropy and framing
+		// stages plus drivers.
+		CodeFlash: 6 * 1024,
+		// Offline-trained codebook: 1 kB codewords + 512 B lengths
+		// (+4 B header), the layout of huffman.Serialize.
+		CodebookFlash: huffman.SerializedSize(core.NumDiffSymbols),
+	}
+}
+
+// CheckFits verifies the footprint against the MSP430F1611's 10 kB RAM
+// and 48 kB flash.
+func (m *Model) CheckFits() error {
+	mem := m.MemoryFootprint()
+	const ramLimit, flashLimit = 10 * 1024, 48 * 1024
+	if mem.RAMTotal() > ramLimit {
+		return fmt.Errorf("mote: RAM footprint %d B exceeds %d B", mem.RAMTotal(), ramLimit)
+	}
+	if mem.FlashTotal() > flashLimit {
+		return fmt.Errorf("mote: flash footprint %d B exceeds %d B", mem.FlashTotal(), flashLimit)
+	}
+	return nil
+}

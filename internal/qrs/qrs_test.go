@@ -1,0 +1,180 @@
+package qrs
+
+import (
+	"math"
+	"testing"
+
+	"csecg/internal/dsp"
+	"csecg/internal/ecg"
+)
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(50); err == nil {
+		t.Error("50 Hz accepted")
+	}
+	if _, err := NewDetector(256); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectCleanSignal360(t *testing.T) {
+	cfg := ecg.Config{
+		HeartRateBPM: 72, HRVariability: 0.04, RespRateHz: 0.25,
+		AmplitudeScale: 1, Seed: 11,
+	}
+	sig, err := ecg.Generate(cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(ecg.FsMITBIH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := det.Detect(sig.MV[0])
+	ref := make([]int, 0, len(sig.Ann))
+	for _, a := range sig.Ann {
+		ref = append(ref, a.Sample)
+	}
+	st := Match(found, ref, int(0.05*ecg.FsMITBIH))
+	if st.Sensitivity() < 0.97 {
+		t.Errorf("clean-signal sensitivity %.3f (TP %d FN %d)", st.Sensitivity(), st.TruePositives, st.FalseNegatives)
+	}
+	if st.PPV() < 0.97 {
+		t.Errorf("clean-signal PPV %.3f (TP %d FP %d)", st.PPV(), st.TruePositives, st.FalsePositives)
+	}
+}
+
+func TestDetectNoisySignal(t *testing.T) {
+	cfg := ecg.Config{
+		HeartRateBPM: 80, HRVariability: 0.06, RespRateHz: 0.25,
+		AmplitudeScale: 1, BaselineWanderMV: 0.1, MuscleNoiseMV: 0.04,
+		PowerlineMV: 0.01, PowerlineHz: 60, Seed: 12,
+	}
+	sig, err := ecg.Generate(cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, _ := NewDetector(ecg.FsMITBIH)
+	found := det.Detect(sig.MV[0])
+	ref := make([]int, 0, len(sig.Ann))
+	for _, a := range sig.Ann {
+		ref = append(ref, a.Sample)
+	}
+	st := Match(found, ref, int(0.05*ecg.FsMITBIH))
+	if st.Sensitivity() < 0.90 || st.PPV() < 0.90 {
+		t.Errorf("noisy-signal Se %.3f PPV %.3f", st.Sensitivity(), st.PPV())
+	}
+}
+
+func TestDetectAt256Hz(t *testing.T) {
+	// The reconstruction-side use case: resampled to the mote rate.
+	cfg := ecg.Config{
+		HeartRateBPM: 65, HRVariability: 0.05, RespRateHz: 0.25,
+		AmplitudeScale: 1, Seed: 13,
+	}
+	sig, err := ecg.Generate(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dsp.Resample360To256(sig.MV[0])
+	det, _ := NewDetector(256)
+	found := det.Detect(x)
+	ref := make([]int, 0, len(sig.Ann))
+	for _, a := range sig.Ann {
+		ref = append(ref, int(a.Time*256+0.5))
+	}
+	st := Match(found, ref, 13) // ±50 ms at 256 Hz
+	if st.Sensitivity() < 0.95 || st.PPV() < 0.95 {
+		t.Errorf("256 Hz Se %.3f PPV %.3f", st.Sensitivity(), st.PPV())
+	}
+}
+
+func TestDetectEdgeCases(t *testing.T) {
+	det, _ := NewDetector(256)
+	if got := det.Detect(nil); got != nil {
+		t.Error("nil input produced detections")
+	}
+	if got := det.Detect(make([]float64, 10)); got != nil {
+		t.Error("too-short input produced detections")
+	}
+	flat := make([]float64, 5000)
+	for i := range flat {
+		flat[i] = 3.3
+	}
+	if got := det.Detect(flat); len(got) > 0 {
+		t.Errorf("constant signal produced %d detections", len(got))
+	}
+}
+
+func TestDetectRefractory(t *testing.T) {
+	// Detections must respect the 200 ms refractory period.
+	cfg := ecg.Config{
+		HeartRateBPM: 110, HRVariability: 0.03, RespRateHz: 0.3,
+		AmplitudeScale: 1, Seed: 14,
+	}
+	sig, _ := ecg.Generate(cfg, 30)
+	det, _ := NewDetector(ecg.FsMITBIH)
+	found := det.Detect(sig.MV[0])
+	minGap := int(0.2 * ecg.FsMITBIH)
+	for i := 1; i < len(found); i++ {
+		if found[i]-found[i-1] < minGap {
+			t.Fatalf("detections %d and %d only %d samples apart", found[i-1], found[i], found[i]-found[i-1])
+		}
+	}
+}
+
+func TestMatchKnownCases(t *testing.T) {
+	// Perfect match.
+	st := Match([]int{100, 200, 300}, []int{100, 200, 300}, 5)
+	if st.TruePositives != 3 || st.FalsePositives != 0 || st.FalseNegatives != 0 {
+		t.Errorf("perfect: %+v", st)
+	}
+	// One miss, one extra.
+	st = Match([]int{100, 305, 400}, []int{100, 200, 300}, 10)
+	if st.TruePositives != 2 || st.FalseNegatives != 1 || st.FalsePositives != 1 {
+		t.Errorf("mixed: %+v", st)
+	}
+	// Each detection matches at most one reference.
+	st = Match([]int{100}, []int{98, 102}, 10)
+	if st.TruePositives != 1 || st.FalseNegatives != 1 {
+		t.Errorf("double-claim: %+v", st)
+	}
+	// Empty inputs.
+	st = Match(nil, nil, 5)
+	if st.Sensitivity() != 1 || st.PPV() != 1 {
+		t.Errorf("empty: Se %v PPV %v", st.Sensitivity(), st.PPV())
+	}
+	st = Match(nil, []int{5}, 5)
+	if st.Sensitivity() != 0 {
+		t.Errorf("all-missed sensitivity %v", st.Sensitivity())
+	}
+	st = Match([]int{5}, nil, 5)
+	if st.PPV() != 0 {
+		t.Errorf("all-false PPV %v", st.PPV())
+	}
+}
+
+func TestF1(t *testing.T) {
+	st := MatchStats{TruePositives: 8, FalsePositives: 2, FalseNegatives: 2}
+	// Se = 0.8, PPV = 0.8 → F1 = 0.8.
+	if math.Abs(st.F1()-0.8) > 1e-12 {
+		t.Errorf("F1 = %v, want 0.8", st.F1())
+	}
+	zero := MatchStats{FalsePositives: 1, FalseNegatives: 1}
+	if zero.F1() != 0 {
+		t.Errorf("degenerate F1 = %v", zero.F1())
+	}
+}
+
+func BenchmarkDetect60s(b *testing.B) {
+	cfg := ecg.Config{
+		HeartRateBPM: 75, HRVariability: 0.05, RespRateHz: 0.25,
+		AmplitudeScale: 1, Seed: 15,
+	}
+	sig, _ := ecg.Generate(cfg, 60)
+	det, _ := NewDetector(ecg.FsMITBIH)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(sig.MV[0])
+	}
+}

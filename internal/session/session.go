@@ -1,0 +1,143 @@
+// Package session multiplexes several ECG leads over one link — the
+// multi-lead ambulatory scenario of the paper's introduction (3-lead
+// Holter replacement). Each lead runs its own pipeline instance with a
+// lead-specific sensing matrix (derived deterministically from the base
+// seed), and frames carry a one-byte lead tag, so a single Bluetooth
+// stream interleaves all leads and each one degrades independently
+// under loss.
+package session
+
+import (
+	"fmt"
+
+	"csecg/internal/core"
+	"csecg/internal/linalg"
+)
+
+// MaxLeads bounds the lead count (one byte of tag space is plenty; real
+// systems use 1-12).
+const MaxLeads = 16
+
+// Frame is one lead-tagged pipeline packet.
+type Frame struct {
+	// Lead indexes the session's lead set.
+	Lead uint8
+	// Packet is the wrapped pipeline packet.
+	Packet *core.Packet
+}
+
+// Marshal serializes the frame (lead byte + packet wire format).
+func (f *Frame) Marshal() ([]byte, error) {
+	pkt, err := f.Packet.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 1+len(pkt))
+	out[0] = f.Lead
+	copy(out[1:], pkt)
+	return out, nil
+}
+
+// UnmarshalFrame parses one frame, returning it and the bytes consumed.
+func UnmarshalFrame(data []byte) (*Frame, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("session: empty frame")
+	}
+	if data[0] >= MaxLeads {
+		return nil, 0, fmt.Errorf("session: lead tag %d out of range", data[0])
+	}
+	pkt, n, err := core.UnmarshalPacket(data[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Frame{Lead: data[0], Packet: pkt}, 1 + n, nil
+}
+
+// leadParams derives lead l's parameters: a distinct sensing matrix per
+// lead (seed offset) with everything else shared.
+func leadParams(base core.Params, l int) core.Params {
+	p := base
+	p.Seed = base.Seed + uint16(l)*0x9E37 // odd stride decorrelates supports
+	return p
+}
+
+// Encoder compresses a fixed set of leads.
+type Encoder struct {
+	encs []*core.Encoder
+}
+
+// NewEncoder builds one pipeline encoder per lead.
+func NewEncoder(base core.Params, leads int) (*Encoder, error) {
+	if leads < 1 || leads > MaxLeads {
+		return nil, fmt.Errorf("session: lead count %d out of [1, %d]", leads, MaxLeads)
+	}
+	e := &Encoder{}
+	for l := 0; l < leads; l++ {
+		enc, err := core.NewEncoder(leadParams(base, l))
+		if err != nil {
+			return nil, fmt.Errorf("session: lead %d: %w", l, err)
+		}
+		e.encs = append(e.encs, enc)
+	}
+	return e, nil
+}
+
+// Leads returns the lead count.
+func (e *Encoder) Leads() int { return len(e.encs) }
+
+// EncodeWindows compresses one synchronized window per lead and returns
+// the interleaved frames (lead order).
+func (e *Encoder) EncodeWindows(windows [][]int16) ([]*Frame, error) {
+	if len(windows) != len(e.encs) {
+		return nil, fmt.Errorf("session: %d windows for %d leads", len(windows), len(e.encs))
+	}
+	frames := make([]*Frame, len(windows))
+	for l, win := range windows {
+		pkt, err := e.encs[l].EncodeWindow(win)
+		if err != nil {
+			return nil, fmt.Errorf("session: lead %d: %w", l, err)
+		}
+		frames[l] = &Frame{Lead: uint8(l), Packet: pkt}
+	}
+	return frames, nil
+}
+
+// Decoder reconstructs a fixed set of leads.
+type Decoder[T linalg.Float] struct {
+	decs []*core.Decoder[T]
+}
+
+// NewDecoder mirrors NewEncoder.
+func NewDecoder[T linalg.Float](base core.Params, leads int) (*Decoder[T], error) {
+	if leads < 1 || leads > MaxLeads {
+		return nil, fmt.Errorf("session: lead count %d out of [1, %d]", leads, MaxLeads)
+	}
+	d := &Decoder[T]{}
+	for l := 0; l < leads; l++ {
+		dec, err := core.NewDecoder[T](leadParams(base, l))
+		if err != nil {
+			return nil, fmt.Errorf("session: lead %d: %w", l, err)
+		}
+		d.decs = append(d.decs, dec)
+	}
+	return d, nil
+}
+
+// Leads returns the lead count.
+func (d *Decoder[T]) Leads() int { return len(d.decs) }
+
+// DecodeFrame routes a frame to its lead's decoder.
+func (d *Decoder[T]) DecodeFrame(f *Frame) (*core.DecodeResult[T], error) {
+	if int(f.Lead) >= len(d.decs) {
+		return nil, fmt.Errorf("session: frame lead %d outside the %d-lead session", f.Lead, len(d.decs))
+	}
+	return d.decs[f.Lead].DecodePacket(f.Packet)
+}
+
+// Tune exposes lead l's decoder for solver configuration.
+func (d *Decoder[T]) Tune(l int) (*core.Decoder[T], error) {
+	if l < 0 || l >= len(d.decs) {
+		return nil, fmt.Errorf("session: lead %d out of range", l)
+	}
+	return d.decs[l], nil
+}

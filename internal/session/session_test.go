@@ -1,0 +1,194 @@
+package session
+
+import (
+	"testing"
+
+	"csecg/internal/core"
+	"csecg/internal/ecg"
+	"csecg/internal/metrics"
+)
+
+func bothChannels(t testing.TB, seconds float64) (ch0, ch1 []int16) {
+	t.Helper()
+	rec, err := ecg.RecordByID("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0, err = rec.Channel256(seconds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err = rec.Channel256(seconds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch0, ch1
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewEncoder(core.Params{Seed: 1}, 0); err == nil {
+		t.Error("0 leads accepted")
+	}
+	if _, err := NewEncoder(core.Params{Seed: 1}, MaxLeads+1); err == nil {
+		t.Error("too many leads accepted")
+	}
+	if _, err := NewDecoder[float64](core.Params{Seed: 1}, 0); err == nil {
+		t.Error("0-lead decoder accepted")
+	}
+	enc, err := NewEncoder(core.Params{Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Leads() != 2 {
+		t.Errorf("Leads = %d", enc.Leads())
+	}
+	if _, err := enc.EncodeWindows(make([][]int16, 3)); err == nil {
+		t.Error("window/lead count mismatch accepted")
+	}
+}
+
+func TestLeadSeedsDiffer(t *testing.T) {
+	base := core.Params{Seed: 7}
+	if leadParams(base, 0).Seed == leadParams(base, 1).Seed {
+		t.Error("leads share a sensing seed")
+	}
+}
+
+func TestFrameRoundTripAndValidation(t *testing.T) {
+	f := &Frame{Lead: 1, Packet: &core.Packet{Seq: 3, Kind: core.KindKey, Payload: []byte{9}}}
+	blob, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := UnmarshalFrame(blob)
+	if err != nil || n != len(blob) {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Lead != 1 || got.Packet.Seq != 3 {
+		t.Errorf("mismatch: %+v", got)
+	}
+	if _, _, err := UnmarshalFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	blob[0] = MaxLeads
+	if _, _, err := UnmarshalFrame(blob); err == nil {
+		t.Error("out-of-range lead accepted")
+	}
+}
+
+func TestTwoLeadSessionEndToEnd(t *testing.T) {
+	base := core.Params{Seed: 21, M: metrics.MForCR(50, core.WindowSize)}
+	enc, err := NewEncoder(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder[float64](base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0, ch1 := bothChannels(t, 10)
+	var prdn [2][]float64
+	for o := 0; o+core.WindowSize <= len(ch0) && o+core.WindowSize <= len(ch1); o += core.WindowSize {
+		wins := [][]int16{ch0[o : o+core.WindowSize], ch1[o : o+core.WindowSize]}
+		frames, err := enc.EncodeWindows(wins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			blob, err := f.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, _, err := UnmarshalFrame(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := dec.DecodeFrame(rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o == 0 {
+				continue
+			}
+			win := wins[rx.Lead]
+			orig := make([]float64, len(win))
+			reco := make([]float64, len(win))
+			for i := range win {
+				orig[i] = float64(win[i])
+				reco[i] = float64(res.Samples[i])
+			}
+			p, err := metrics.PRDN(orig, reco)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prdn[rx.Lead] = append(prdn[rx.Lead], p)
+		}
+	}
+	for lead := 0; lead < 2; lead++ {
+		if len(prdn[lead]) == 0 {
+			t.Fatalf("lead %d produced no quality samples", lead)
+		}
+		var mean float64
+		for _, p := range prdn[lead] {
+			mean += p
+		}
+		mean /= float64(len(prdn[lead]))
+		if mean > 20 {
+			t.Errorf("lead %d mean PRDN %.2f too high", lead, mean)
+		}
+	}
+}
+
+func TestLeadsFailIndependently(t *testing.T) {
+	base := core.Params{Seed: 5, KeyFrameInterval: 4}
+	enc, _ := NewEncoder(base, 2)
+	dec, _ := NewDecoder[float64](base, 2)
+	for l := 0; l < 2; l++ {
+		d, err := dec.Tune(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SolverOptions.MaxIter = 1
+	}
+	ch0, ch1 := bothChannels(t, 16)
+	var allFrames [][]*Frame
+	for o := 0; o+core.WindowSize <= len(ch0); o += core.WindowSize {
+		frames, err := enc.EncodeWindows([][]int16{ch0[o : o+core.WindowSize], ch1[o : o+core.WindowSize]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allFrames = append(allFrames, frames)
+	}
+	if len(allFrames) < 6 {
+		t.Fatal("need more windows")
+	}
+	// Deliver everything except lead 1's window-1 frame: lead 0 keeps
+	// decoding, lead 1 rejects until its key frame at window 4.
+	lead1Errors := 0
+	for w, frames := range allFrames {
+		for _, f := range frames {
+			if w == 1 && f.Lead == 1 {
+				continue // lost
+			}
+			_, err := dec.DecodeFrame(f)
+			if f.Lead == 0 && err != nil {
+				t.Fatalf("lead 0 window %d: %v", w, err)
+			}
+			if f.Lead == 1 && err != nil {
+				lead1Errors++
+				if w >= 4 {
+					t.Fatalf("lead 1 still failing at window %d after key frame: %v", w, err)
+				}
+			}
+		}
+	}
+	if lead1Errors == 0 {
+		t.Error("lead 1 never noticed the loss")
+	}
+	if _, err := dec.DecodeFrame(&Frame{Lead: 5, Packet: &core.Packet{Kind: core.KindKey}}); err == nil {
+		t.Error("unknown lead accepted")
+	}
+	if _, err := dec.Tune(9); err == nil {
+		t.Error("Tune out of range accepted")
+	}
+}

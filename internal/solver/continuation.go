@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"math"
+
+	"csecg/internal/linalg"
+)
+
+// FISTAContinuation solves the λ-target problem through a geometric
+// sequence of decreasing λ values, warm-starting each stage with the
+// previous solution. Small-λ LASSO problems converge slowly when started
+// cold (the regularization path must be traversed anyway); continuation
+// walks the path explicitly and typically cuts total iterations by an
+// order of magnitude. stages ≤ 1 degenerates to a single FISTA run.
+//
+// The returned Result aggregates the iterations of all stages and carries
+// the final stage's solution and objective.
+func FISTAContinuation[T linalg.Float](a linalg.Op[T], y []T, opt Options[T], stages int) (Result[T], error) {
+	if stages <= 1 {
+		return FISTA(a, y, opt)
+	}
+	// Resolve defaults once so every stage shares L and the λ target.
+	if _, err := newState(a, y, &opt); err != nil {
+		return Result[T]{}, err
+	}
+	// λ₀ = ‖Aᵀy‖∞ / 2: above that the solution is identically zero, so
+	// starting higher wastes stages.
+	aty := make([]T, a.InDim)
+	a.ApplyT(aty, y)
+	lam0 := linalg.NormInf(aty) / 2
+	target := opt.Lambda
+	if lam0 <= target {
+		return FISTA(a, y, opt)
+	}
+	// Geometric schedule λ₀ → target over the stage count.
+	ratio := float64(target / lam0)
+	factor := T(math.Pow(ratio, 1/float64(stages-1)))
+	perStage := opt.MaxIter / stages
+	if perStage < 1 {
+		perStage = 1
+	}
+	lam := lam0
+	var x0 []T
+	total := 0
+	var last Result[T]
+	for s := 0; s < stages; s++ {
+		if s == stages-1 {
+			lam = target
+		}
+		stageOpt := opt
+		stageOpt.Lambda = lam
+		stageOpt.MaxIter = perStage
+		stageOpt.X0 = x0
+		var err error
+		last, err = FISTA(a, y, stageOpt)
+		if err != nil {
+			return Result[T]{}, err
+		}
+		total += last.Iterations
+		x0 = last.X
+		lam *= factor
+	}
+	last.Iterations = total
+	return last, nil
+}

@@ -1,0 +1,162 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"csecg/internal/linalg"
+)
+
+// OMP recovers a k-sparse coefficient vector by orthogonal matching
+// pursuit (Tropp 2004), the greedy baseline the paper cites alongside
+// the convex solvers. Each round it adds the column most correlated
+// with the residual and re-solves the least-squares problem on the
+// accumulated support via normal equations (the supports stay small, so
+// a dense Cholesky is appropriate).
+//
+// maxAtoms bounds the support size; resTol stops early once the residual
+// norm drops below resTol·‖y‖₂.
+func OMP[T linalg.Float](a linalg.Op[T], y []T, maxAtoms int, resTol float64) (Result[T], error) {
+	if a.Apply == nil || a.ApplyT == nil {
+		return Result[T]{}, fmt.Errorf("solver: operator missing Apply/ApplyT")
+	}
+	if len(y) != a.OutDim {
+		return Result[T]{}, fmt.Errorf("solver: measurement length %d, operator range %d", len(y), a.OutDim)
+	}
+	if maxAtoms <= 0 || maxAtoms > a.InDim {
+		return Result[T]{}, fmt.Errorf("solver: maxAtoms %d out of [1, %d]", maxAtoms, a.InDim)
+	}
+	if resTol <= 0 {
+		resTol = 1e-6
+	}
+	m, n := a.OutDim, a.InDim
+	yNorm := float64(linalg.Norm2(y))
+	if yNorm == 0 {
+		return Result[T]{X: make([]T, n), Converged: true}, nil
+	}
+	residual := make([]T, m)
+	copy(residual, y)
+	corr := make([]T, n)
+	support := make([]int, 0, maxAtoms)
+	inSupport := make([]bool, n)
+	cols := make([][]T, 0, maxAtoms) // extracted columns of A
+	basis := make([]T, n)
+	coef := make([]T, 0, maxAtoms)
+	res := Result[T]{}
+	for len(support) < maxAtoms {
+		// Select the atom most correlated with the residual.
+		a.ApplyT(corr, residual)
+		best, bestVal := -1, T(0)
+		for j, v := range corr {
+			if inSupport[j] {
+				continue
+			}
+			if v < 0 {
+				v = -v
+			}
+			if v > bestVal {
+				bestVal, best = v, j
+			}
+		}
+		if best < 0 || bestVal == 0 {
+			break // residual orthogonal to all remaining atoms
+		}
+		inSupport[best] = true
+		support = append(support, best)
+		// Extract column A·e_best.
+		for i := range basis {
+			basis[i] = 0
+		}
+		basis[best] = 1
+		col := make([]T, m)
+		a.Apply(col, basis)
+		cols = append(cols, col)
+		// Solve min ‖A_S c − y‖₂ by normal equations G c = b.
+		k := len(cols)
+		g := make([]float64, k*k)
+		b := make([]float64, k)
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				v := float64(linalg.Dot(cols[i], cols[j]))
+				g[i*k+j] = v
+				g[j*k+i] = v
+			}
+			b[i] = float64(linalg.Dot(cols[i], y))
+		}
+		c, ok := cholSolve(g, b, k)
+		if !ok {
+			// Gram matrix numerically singular: drop the atom and stop.
+			support = support[:k-1]
+			cols = cols[:k-1]
+			break
+		}
+		coef = coef[:0]
+		for _, v := range c {
+			coef = append(coef, T(v))
+		}
+		// residual = y − A_S c.
+		copy(residual, y)
+		for i, colv := range cols {
+			linalg.Axpy(-coef[i], colv, residual)
+		}
+		res.Iterations++
+		if float64(linalg.Norm2(residual)) < resTol*yNorm {
+			res.Converged = true
+			break
+		}
+	}
+	x := make([]T, n)
+	for i, j := range support {
+		if i < len(coef) {
+			x[j] = coef[i]
+		}
+	}
+	res.X = x
+	rn := linalg.Norm2(residual)
+	res.Objective = rn * rn
+	return res, nil
+}
+
+// cholSolve solves the symmetric positive-definite system G·x = b with an
+// in-place Cholesky factorization. It reports ok=false if G is not
+// numerically positive definite.
+func cholSolve(g, b []float64, k int) ([]float64, bool) {
+	// Factor G = L·Lᵀ (lower triangle stored in g).
+	for j := 0; j < k; j++ {
+		d := g[j*k+j]
+		for p := 0; p < j; p++ {
+			d -= g[j*k+p] * g[j*k+p]
+		}
+		if d <= 1e-12 {
+			return nil, false
+		}
+		d = math.Sqrt(d)
+		g[j*k+j] = d
+		for i := j + 1; i < k; i++ {
+			s := g[i*k+j]
+			for p := 0; p < j; p++ {
+				s -= g[i*k+p] * g[j*k+p]
+			}
+			g[i*k+j] = s / d
+		}
+	}
+	// Forward substitution L·z = b.
+	z := make([]float64, k)
+	for i := 0; i < k; i++ {
+		s := b[i]
+		for p := 0; p < i; p++ {
+			s -= g[i*k+p] * z[p]
+		}
+		z[i] = s / g[i*k+i]
+	}
+	// Back substitution Lᵀ·x = z.
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := z[i]
+		for p := i + 1; p < k; p++ {
+			s -= g[p*k+i] * x[p]
+		}
+		x[i] = s / g[i*k+i]
+	}
+	return x, true
+}

@@ -1,0 +1,129 @@
+package wavelet
+
+// Fig. 5 of the paper compares two ways to vectorize the two-level
+// filter-bank loop nest: vectorizing the inner (tap) loop costs extra
+// cross-lane add instructions per output, while vectorizing the outer
+// (output) loop keeps four independent accumulators and needs none.
+// This file implements both shapes on the analysis split so the
+// benchmark suite can measure the difference the paper describes, and
+// the tests can pin their equivalence. The production transform uses
+// the outer-loop shape.
+
+// analyzeOnceScalar is the plain reference loop: one output pair at a
+// time, taps accumulated serially.
+func analyzeOnceScalar(dst, x, h, g []float32) {
+	n := len(x)
+	half := n / 2
+	for k := 0; k < half; k++ {
+		var a, d float32
+		base := 2 * k
+		for i := 0; i < len(h); i++ {
+			idx := base + i
+			if idx >= n {
+				idx -= n
+			}
+			v := x[idx]
+			a += h[i] * v
+			d += g[i] * v
+		}
+		dst[k] = a
+		dst[half+k] = d
+	}
+}
+
+// analyzeOnceInnerVec vectorizes the inner (tap) loop: partial sums are
+// kept in four lanes over the taps and reduced horizontally per output —
+// the shape the paper rejects because of the 2·I·(L−1) extra adds.
+func analyzeOnceInnerVec(dst, x, h, g []float32) {
+	n := len(x)
+	half := n / 2
+	taps := len(h)
+	t4 := taps &^ 3
+	for k := 0; k < half; k++ {
+		base := 2 * k
+		var a0, a1, a2, a3 float32
+		var d0, d1, d2, d3 float32
+		if base+taps <= n {
+			// No wrap: contiguous 4-lane tap accumulation.
+			for i := 0; i < t4; i += 4 {
+				v0, v1, v2, v3 := x[base+i], x[base+i+1], x[base+i+2], x[base+i+3]
+				a0 += h[i] * v0
+				a1 += h[i+1] * v1
+				a2 += h[i+2] * v2
+				a3 += h[i+3] * v3
+				d0 += g[i] * v0
+				d1 += g[i+1] * v1
+				d2 += g[i+2] * v2
+				d3 += g[i+3] * v3
+			}
+			for i := t4; i < taps; i++ {
+				v := x[base+i]
+				a0 += h[i] * v
+				d0 += g[i] * v
+			}
+		} else {
+			for i := 0; i < taps; i++ {
+				idx := base + i
+				if idx >= n {
+					idx -= n
+				}
+				v := x[idx]
+				a0 += h[i] * v
+				d0 += g[i] * v
+			}
+		}
+		// Horizontal reduction — the cost inner-loop vectorization pays.
+		dst[k] = (a0 + a1) + (a2 + a3)
+		dst[half+k] = (d0 + d1) + (d2 + d3)
+	}
+}
+
+// analyzeOnceOuterVec vectorizes the outer (output) loop: four output
+// pairs advance together, each with its own accumulator, no horizontal
+// reductions — the shape the paper selects.
+func analyzeOnceOuterVec(dst, x, h, g []float32) {
+	n := len(x)
+	half := n / 2
+	taps := len(h)
+	k4 := half &^ 3
+	k := 0
+	for ; k < k4; k += 4 {
+		b0, b1, b2, b3 := 2*k, 2*k+2, 2*k+4, 2*k+6
+		if b3+taps <= n {
+			var a0, a1, a2, a3 float32
+			var d0, d1, d2, d3 float32
+			for i := 0; i < taps; i++ {
+				hi, gi := h[i], g[i]
+				v0, v1, v2, v3 := x[b0+i], x[b1+i], x[b2+i], x[b3+i]
+				a0 += hi * v0
+				a1 += hi * v1
+				a2 += hi * v2
+				a3 += hi * v3
+				d0 += gi * v0
+				d1 += gi * v1
+				d2 += gi * v2
+				d3 += gi * v3
+			}
+			dst[k], dst[k+1], dst[k+2], dst[k+3] = a0, a1, a2, a3
+			dst[half+k], dst[half+k+1], dst[half+k+2], dst[half+k+3] = d0, d1, d2, d3
+			continue
+		}
+		break
+	}
+	// Wrap-around tail (and any remainder): scalar peel, as in Fig. 3.
+	for ; k < half; k++ {
+		var a, d float32
+		base := 2 * k
+		for i := 0; i < taps; i++ {
+			idx := base + i
+			if idx >= n {
+				idx -= n
+			}
+			v := x[idx]
+			a += h[i] * v
+			d += g[i] * v
+		}
+		dst[k] = a
+		dst[half+k] = d
+	}
+}

@@ -1,0 +1,93 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+func loopFixtures(t testing.TB, n int) (x, h, g, d1, d2, d3 []float32) {
+	t.Helper()
+	h64, err := DaubechiesFilter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g64 := QMF(h64)
+	h = make([]float32, len(h64))
+	g = make([]float32, len(g64))
+	for i := range h64 {
+		h[i] = float32(h64[i])
+		g[i] = float32(g64[i])
+	}
+	x = make([]float32, n)
+	state := uint64(5)
+	for i := range x {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		x[i] = float32(int64(state%2001)-1000) / 50
+	}
+	return x, h, g, make([]float32, n), make([]float32, n), make([]float32, n)
+}
+
+func TestLoopShapesAgree(t *testing.T) {
+	for _, n := range []int{16, 64, 512} {
+		x, h, g, d1, d2, d3 := loopFixtures(t, n)
+		analyzeOnceScalar(d1, x, h, g)
+		analyzeOnceInnerVec(d2, x, h, g)
+		analyzeOnceOuterVec(d3, x, h, g)
+		for i := range d1 {
+			if math.Abs(float64(d1[i]-d2[i])) > 1e-3 {
+				t.Fatalf("n=%d inner-vec diverges at %d: %v vs %v", n, i, d1[i], d2[i])
+			}
+			if math.Abs(float64(d1[i]-d3[i])) > 1e-3 {
+				t.Fatalf("n=%d outer-vec diverges at %d: %v vs %v", n, i, d1[i], d3[i])
+			}
+		}
+	}
+}
+
+func TestLoopShapesMatchTransform(t *testing.T) {
+	// The loop-shape study must compute the same split as the production
+	// transform's first level.
+	const n = 256
+	x, h, g, d1, _, _ := loopFixtures(t, n)
+	analyzeOnceScalar(d1, x, h, g)
+	w, err := New[float32](4, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float32, n)
+	w.Forward(ref, x)
+	for i := range ref {
+		if math.Abs(float64(ref[i]-d1[i])) > 1e-4 {
+			t.Fatalf("loop study diverges from Transform at %d: %v vs %v", i, ref[i], d1[i])
+		}
+	}
+}
+
+// Benchmarks reproducing Fig. 5: outer-loop vectorization avoids the
+// inner shape's horizontal reductions.
+
+func BenchmarkFilterLoopScalar512(b *testing.B) {
+	x, h, g, d, _, _ := loopFixtures(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeOnceScalar(d, x, h, g)
+	}
+}
+
+func BenchmarkFilterLoopInnerVec512(b *testing.B) {
+	x, h, g, d, _, _ := loopFixtures(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeOnceInnerVec(d, x, h, g)
+	}
+}
+
+func BenchmarkFilterLoopOuterVec512(b *testing.B) {
+	x, h, g, d, _, _ := loopFixtures(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeOnceOuterVec(d, x, h, g)
+	}
+}

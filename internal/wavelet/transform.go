@@ -1,0 +1,240 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"csecg/internal/linalg"
+)
+
+// Transform is a multi-level periodized orthonormal DWT over signals of a
+// fixed length. It is generic over float32/float64 so the decoder can be
+// instantiated at both the "iPhone (32-bit)" and "Matlab (64-bit)"
+// precisions of the paper's Fig. 6.
+//
+// Coefficient layout of a forward transform with L levels over length-N
+// signals, matching the conventional pyramid order:
+//
+//	[ a_L | d_L | d_{L−1} | … | d_1 ]
+//
+// where a_L has N/2^L entries and d_j has N/2^j entries.
+type Transform[T linalg.Float] struct {
+	h, g   []T // analysis low/high-pass filters
+	n      int
+	levels int
+}
+
+// New builds a Daubechies-order transform for length-n signals with the
+// given number of decomposition levels. n must be divisible by 2^levels
+// and the coarsest block must still be at least as long as the filter
+// (2·order taps) for the periodization to stay orthonormal.
+func New[T linalg.Float](order, n, levels int) (*Transform[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wavelet: signal length %d must be positive", n)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels %d must be at least 1", levels)
+	}
+	if n%(1<<uint(levels)) != 0 {
+		return nil, fmt.Errorf("wavelet: length %d not divisible by 2^%d", n, levels)
+	}
+	h64, err := DaubechiesFilter(order)
+	if err != nil {
+		return nil, err
+	}
+	if coarse := n >> uint(levels); coarse < len(h64) {
+		return nil, fmt.Errorf("wavelet: coarsest block %d shorter than %d-tap filter; reduce levels", coarse, len(h64))
+	}
+	g64 := QMF(h64)
+	t := &Transform[T]{n: n, levels: levels, h: make([]T, len(h64)), g: make([]T, len(g64))}
+	for i := range h64 {
+		t.h[i] = T(h64[i])
+		t.g[i] = T(g64[i])
+	}
+	return t, nil
+}
+
+// MaxLevels returns the deepest decomposition admissible for a
+// Daubechies-order transform on length-n signals.
+func MaxLevels(order, n int) int {
+	taps := 2 * order
+	levels := 0
+	for n%2 == 0 && n/2 >= taps {
+		n /= 2
+		levels++
+	}
+	return levels
+}
+
+// Len returns the signal length the transform operates on.
+func (t *Transform[T]) Len() int { return t.n }
+
+// Levels returns the number of decomposition levels.
+func (t *Transform[T]) Levels() int { return t.levels }
+
+// Forward computes the analysis transform (Ψᵀ for the orthonormal basis):
+// dst receives the coefficient pyramid of x. dst and x must both have
+// length Len() and may not alias.
+func (t *Transform[T]) Forward(dst, x []T) {
+	if len(dst) != t.n || len(x) != t.n {
+		panic("wavelet: Forward length mismatch")
+	}
+	buf := make([]T, t.n)
+	copy(buf, x)
+	n := t.n
+	for lev := 0; lev < t.levels; lev++ {
+		t.analyzeOne(dst[:n], buf[:n])
+		copy(buf[:n/2], dst[:n/2])
+		n /= 2
+	}
+	copy(dst[:n], buf[:n])
+}
+
+// analyzeOne performs one analysis split of the length-n prefix:
+// dst[:n/2] = approximation, dst[n/2:n] = detail.
+func (t *Transform[T]) analyzeOne(dst, x []T) {
+	n := len(x)
+	half := n / 2
+	for k := 0; k < half; k++ {
+		var a, d T
+		base := 2 * k
+		for i := 0; i < len(t.h); i++ {
+			idx := base + i
+			if idx >= n {
+				idx -= n // filters never exceed block length, one wrap max
+			}
+			v := x[idx]
+			a += t.h[i] * v
+			d += t.g[i] * v
+		}
+		dst[k] = a
+		dst[half+k] = d
+	}
+}
+
+// Inverse computes the synthesis transform Ψ: dst receives the signal
+// whose coefficient pyramid is coeffs. dst and coeffs must both have
+// length Len() and may not alias.
+func (t *Transform[T]) Inverse(dst, coeffs []T) {
+	if len(dst) != t.n || len(coeffs) != t.n {
+		panic("wavelet: Inverse length mismatch")
+	}
+	buf := make([]T, t.n)
+	copy(buf, coeffs)
+	n := t.n >> uint(t.levels)
+	for lev := t.levels - 1; lev >= 0; lev-- {
+		t.synthesizeOne(dst[:2*n], buf[:n], buf[n:2*n])
+		copy(buf[:2*n], dst[:2*n])
+		n *= 2
+	}
+	copy(dst, buf)
+}
+
+// synthesizeOne is the exact transpose of analyzeOne: it scatters the
+// approximation a and detail d back into a length-2·len(a) block.
+func (t *Transform[T]) synthesizeOne(dst, a, d []T) {
+	n := len(dst)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k := range a {
+		base := 2 * k
+		av, dv := a[k], d[k]
+		for i := 0; i < len(t.h); i++ {
+			idx := base + i
+			if idx >= n {
+				idx -= n
+			}
+			dst[idx] += t.h[i]*av + t.g[i]*dv
+		}
+	}
+}
+
+// SynthesisOp exposes Ψ as a linalg.Op: Apply is the synthesis (inverse)
+// transform mapping coefficients to samples, ApplyT the analysis
+// transform. For an orthonormal wavelet the adjoint equals the inverse,
+// which the tests assert via linalg.AdjointMismatch.
+func (t *Transform[T]) SynthesisOp() linalg.Op[T] {
+	return linalg.Op[T]{
+		InDim:  t.n,
+		OutDim: t.n,
+		Apply:  func(dst, x []T) { t.Inverse(dst, x) },
+		ApplyT: func(dst, y []T) { t.Forward(dst, y) },
+	}
+}
+
+// LargestK zeroes all but the k largest-magnitude entries of coeffs in
+// place, the hard-thresholding used to measure how wavelet-sparse a
+// signal is (the S-sparse approximation of Section II-A).
+func LargestK[T linalg.Float](coeffs []T, k int) {
+	if k >= len(coeffs) {
+		return
+	}
+	if k <= 0 {
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		return
+	}
+	abs := func(v T) T {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	mags := make([]T, len(coeffs))
+	for i, v := range coeffs {
+		mags[i] = abs(v)
+	}
+	thresh := quickSelect(mags, len(mags)-k) // k-th largest magnitude
+	above := 0
+	for _, v := range coeffs {
+		if abs(v) > thresh {
+			above++
+		}
+	}
+	allowTies := k - above // entries equal to thresh that may survive
+	for i, v := range coeffs {
+		switch m := abs(v); {
+		case m > thresh:
+			// keep
+		case m == thresh && allowTies > 0:
+			allowTies--
+		default:
+			coeffs[i] = 0
+		}
+	}
+}
+
+// quickSelect returns the element of rank idx (0-based ascending) of a,
+// destroying a's order.
+func quickSelect[T linalg.Float](a []T, idx int) T {
+	lo, hi := 0, len(a)-1
+	for {
+		if lo == hi {
+			return a[lo]
+		}
+		pivot := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case idx <= j:
+			hi = j
+		case idx >= i:
+			lo = i
+		default:
+			return a[idx]
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package wfdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"csecg/internal/ecg"
+)
+
+// MIT annotation format: a stream of 16-bit little-endian words, each
+// carrying a 6-bit annotation code in the high bits and a 10-bit time
+// increment in the low bits. Long gaps use the SKIP pseudo-code
+// followed by a 32-bit interval (stored high word first, PDP-11 style);
+// the stream ends with a zero word.
+
+// Annotation codes used by this subset (standard WFDB code numbers).
+const (
+	CodeNormal = 1  // N: normal beat
+	CodePVC    = 5  // V: premature ventricular contraction
+	CodeAPC    = 8  // A: atrial premature beat
+	codeSkip   = 59 // long time increment follows
+	codeNum    = 60 // NUM field change (skipped on read)
+	codeSub    = 61 // SUB field change (skipped on read)
+	codeChn    = 62 // CHN field change (skipped on read)
+	codeAux    = 63 // aux string follows (skipped on read)
+)
+
+// Annotation is one annotated event.
+type Annotation struct {
+	// Sample index of the event.
+	Sample int
+	// Code is the WFDB annotation code.
+	Code int
+}
+
+// CodeForBeat maps the generator's beat classes to WFDB codes. Dropped
+// beats have no annotation in MIT-BIH and return -1.
+func CodeForBeat(bt ecg.BeatType) int {
+	switch bt {
+	case ecg.Normal:
+		return CodeNormal
+	case ecg.PVC:
+		return CodePVC
+	case ecg.APC:
+		return CodeAPC
+	default:
+		return -1
+	}
+}
+
+// WriteAnnotations writes anns (ascending by sample) as dir/name.atr.
+func WriteAnnotations(dir, name string, anns []Annotation) error {
+	var buf []byte
+	word := func(code, interval int) {
+		var w [2]byte
+		binary.LittleEndian.PutUint16(w[:], uint16(code)<<10|uint16(interval)&0x3FF)
+		buf = append(buf, w[:]...)
+	}
+	prev := 0
+	for i, a := range anns {
+		if a.Code < 1 || a.Code > 49 {
+			return fmt.Errorf("wfdb: annotation %d has non-beat code %d", i, a.Code)
+		}
+		delta := a.Sample - prev
+		if delta < 0 {
+			return fmt.Errorf("wfdb: annotations not ascending at index %d", i)
+		}
+		if delta >= 1024 {
+			word(codeSkip, 0)
+			var w [4]byte
+			binary.LittleEndian.PutUint16(w[0:], uint16(delta>>16))
+			binary.LittleEndian.PutUint16(w[2:], uint16(delta&0xFFFF))
+			buf = append(buf, w[:]...)
+			delta = 0
+		}
+		word(a.Code, delta)
+		prev = a.Sample
+	}
+	word(0, 0) // end of stream
+	return os.WriteFile(filepath.Join(dir, name+".atr"), buf, 0o644)
+}
+
+// ReadAnnotations parses dir/name.atr, returning the beat annotations
+// (field-modifier and aux pseudo-annotations are skipped).
+func ReadAnnotations(dir, name string) ([]Annotation, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name+".atr"))
+	if err != nil {
+		return nil, err
+	}
+	var anns []Annotation
+	t := 0
+	pending := 0 // interval accumulated by SKIP words
+	for pos := 0; pos+1 < len(data); pos += 2 {
+		w := binary.LittleEndian.Uint16(data[pos:])
+		code := int(w >> 10)
+		interval := int(w & 0x3FF)
+		switch code {
+		case 0:
+			if interval == 0 {
+				return anns, nil // end of stream
+			}
+			return nil, fmt.Errorf("wfdb: unexpected code-0 word with interval %d", interval)
+		case codeSkip:
+			if pos+5 >= len(data) {
+				return nil, fmt.Errorf("wfdb: truncated SKIP interval")
+			}
+			hi := binary.LittleEndian.Uint16(data[pos+2:])
+			lo := binary.LittleEndian.Uint16(data[pos+4:])
+			pending += int(hi)<<16 | int(lo)
+			pos += 4
+		case codeNum, codeSub, codeChn:
+			// Field modifiers carry no time; ignore.
+		case codeAux:
+			// interval = byte length of the aux string, padded to even.
+			n := interval + interval%2
+			if pos+2+n > len(data) {
+				return nil, fmt.Errorf("wfdb: truncated AUX field")
+			}
+			pos += n
+		default:
+			t += interval + pending
+			pending = 0
+			anns = append(anns, Annotation{Sample: t, Code: code})
+		}
+	}
+	return nil, fmt.Errorf("wfdb: annotation stream missing terminator")
+}
+
+// AnnotationsFromSignal converts the generator's ground-truth beat list
+// into WFDB annotations at the given sample rate ratio (use 1 for the
+// native 360 Hz indices).
+func AnnotationsFromSignal(sig *ecg.Signal) []Annotation {
+	var out []Annotation
+	for _, a := range sig.Ann {
+		code := CodeForBeat(a.Type)
+		if code < 0 {
+			continue
+		}
+		out = append(out, Annotation{Sample: a.Sample, Code: code})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package wfdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadHeader hardens the .hea parser against malformed files.
+func FuzzReadHeader(f *testing.F) {
+	f.Add("100 2 360 650000\n100.dat 212 200 11 1024 995 -22131 0 MLII\n100.dat 212 200 11 1024 1011 20052 0 V5\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("100 2 360 650000\nf.dat 212 200(1024)/mV 11 1024 1 2 0 L\nf.dat 212 200(1024)/mV 11 1024 1 2 0 L\n")
+	f.Fuzz(func(t *testing.T, content string) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "z.hea"), []byte(content), 0o644); err != nil {
+			t.Skip()
+		}
+		h, err := ReadHeader(dir, "z")
+		if err != nil {
+			return
+		}
+		// Accepted headers must be internally consistent.
+		if len(h.Signals) == 0 || h.Fs <= 0 || h.NumSamples < 0 {
+			t.Fatalf("accepted inconsistent header: %+v", h)
+		}
+		// And must survive a write/read cycle.
+		h.Name = "w"
+		if err := WriteHeader(dir, h); err != nil {
+			t.Fatalf("accepted header failed to write: %v", err)
+		}
+		if _, err := ReadHeader(dir, "w"); err != nil {
+			t.Fatalf("rewritten header failed to parse: %v", err)
+		}
+	})
+}
+
+// FuzzReadAnnotations hardens the .atr parser.
+func FuzzReadAnnotations(f *testing.F) {
+	dir := f.TempDir()
+	if err := WriteAnnotations(dir, "seed", []Annotation{
+		{Sample: 10, Code: CodeNormal}, {Sample: 5000, Code: CodePVC},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(filepath.Join(dir, "seed.atr"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d, "z.atr"), data, 0o644); err != nil {
+			t.Skip()
+		}
+		anns, err := ReadAnnotations(d, "z")
+		if err != nil {
+			return
+		}
+		// Accepted annotations are ascending with sane codes.
+		prev := -1
+		for _, a := range anns {
+			if a.Sample < prev {
+				t.Fatalf("descending annotations accepted: %+v", anns)
+			}
+			prev = a.Sample
+			if a.Code < 1 || a.Code > 63 {
+				t.Fatalf("out-of-range code %d accepted", a.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package wfdb reads and writes the subset of the PhysioNet WFDB format
+// family that the MIT-BIH Arrhythmia Database uses: format-212 signal
+// files (.dat), record headers (.hea) and MIT-format annotation files
+// (.atr).
+//
+// The substitute database in internal/ecg generates signals in MIT-BIH's
+// *logical* format (two channels, 360 Hz, 11-bit over 10 mV); this
+// package supplies the *physical* format, so exported records can be
+// inspected with standard WFDB tooling, and — for users who do have the
+// real database — genuine MIT-BIH records can be fed through the
+// pipeline in place of the synthetic ones.
+package wfdb
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// SignalSpec describes one signal of a record, mirroring the .hea
+// per-signal line.
+type SignalSpec struct {
+	// FileName of the signal data (all signals of a record share one
+	// file in MIT-BIH).
+	FileName string
+	// Format is the storage format; only 212 is supported.
+	Format int
+	// Gain in ADC units per physical unit (MIT-BIH: 200 adu/mV).
+	Gain float64
+	// Baseline is the ADC value of physical zero.
+	Baseline int
+	// Units of the physical signal ("mV").
+	Units string
+	// ADCRes is the converter resolution in bits (11).
+	ADCRes int
+	// ADCZero is the mid-range ADC value (1024).
+	ADCZero int
+	// InitValue is the first sample (checksum aid).
+	InitValue int
+	// Checksum is the 16-bit signed sum of all samples.
+	Checksum int16
+	// Description labels the lead ("MLII", "V1").
+	Description string
+}
+
+// Header is a parsed .hea file.
+type Header struct {
+	// Name is the record name ("100").
+	Name string
+	// Fs is the sampling frequency per signal.
+	Fs float64
+	// NumSamples per signal.
+	NumSamples int
+	// Signals holds one spec per channel.
+	Signals []SignalSpec
+}
+
+// WriteHeader writes h as dir/name.hea.
+func WriteHeader(dir string, h *Header) error {
+	if len(h.Signals) == 0 {
+		return fmt.Errorf("wfdb: header has no signals")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %g %d\n", h.Name, len(h.Signals), h.Fs, h.NumSamples)
+	for _, s := range h.Signals {
+		fmt.Fprintf(&b, "%s %d %g(%d)/%s %d %d %d %d 0 %s\n",
+			s.FileName, s.Format, s.Gain, s.Baseline, s.Units,
+			s.ADCRes, s.ADCZero, s.InitValue, s.Checksum, s.Description)
+	}
+	return os.WriteFile(filepath.Join(dir, h.Name+".hea"), []byte(b.String()), 0o644)
+}
+
+// ReadHeader parses dir/name.hea.
+func ReadHeader(dir, name string) (*Header, error) {
+	f, err := os.Open(filepath.Join(dir, name+".hea"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	var h Header
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if lineNo == 0 {
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("wfdb: malformed record line %q", line)
+			}
+			h.Name = fields[0]
+			nsig, err := strconv.Atoi(fields[1])
+			if err != nil || nsig <= 0 {
+				return nil, fmt.Errorf("wfdb: bad signal count %q", fields[1])
+			}
+			if h.Fs, err = strconv.ParseFloat(fields[2], 64); err != nil || h.Fs <= 0 {
+				return nil, fmt.Errorf("wfdb: bad sampling frequency %q", fields[2])
+			}
+			if h.NumSamples, err = strconv.Atoi(fields[3]); err != nil || h.NumSamples < 0 {
+				return nil, fmt.Errorf("wfdb: bad sample count %q", fields[3])
+			}
+			h.Signals = make([]SignalSpec, 0, nsig)
+		} else {
+			spec, err := parseSignalLine(fields)
+			if err != nil {
+				return nil, fmt.Errorf("wfdb: signal line %d: %w", lineNo, err)
+			}
+			h.Signals = append(h.Signals, spec)
+		}
+		lineNo++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lineNo == 0 {
+		return nil, fmt.Errorf("wfdb: empty header")
+	}
+	if cap(h.Signals) != len(h.Signals) {
+		return nil, fmt.Errorf("wfdb: header declares %d signals, found %d", cap(h.Signals), len(h.Signals))
+	}
+	return &h, nil
+}
+
+// parseSignalLine parses "file fmt gain(baseline)/units adcres adczero
+// initval checksum blocksize description...".
+func parseSignalLine(fields []string) (SignalSpec, error) {
+	var s SignalSpec
+	if len(fields) < 9 {
+		return s, fmt.Errorf("too few fields (%d)", len(fields))
+	}
+	s.FileName = fields[0]
+	var err error
+	if s.Format, err = strconv.Atoi(fields[1]); err != nil {
+		return s, fmt.Errorf("bad format %q", fields[1])
+	}
+	// gain spec: gain, gain/units, gain(baseline)/units
+	gainSpec := fields[2]
+	units := ""
+	if i := strings.IndexByte(gainSpec, '/'); i >= 0 {
+		units = gainSpec[i+1:]
+		gainSpec = gainSpec[:i]
+	}
+	baseline := 0
+	hasBaseline := false
+	if i := strings.IndexByte(gainSpec, '('); i >= 0 {
+		j := strings.IndexByte(gainSpec, ')')
+		if j < i {
+			return s, fmt.Errorf("bad gain spec %q", fields[2])
+		}
+		if baseline, err = strconv.Atoi(gainSpec[i+1 : j]); err != nil {
+			return s, fmt.Errorf("bad baseline in %q", fields[2])
+		}
+		hasBaseline = true
+		gainSpec = gainSpec[:i]
+	}
+	if s.Gain, err = strconv.ParseFloat(gainSpec, 64); err != nil {
+		return s, fmt.Errorf("bad gain %q", fields[2])
+	}
+	s.Units = units
+	if s.ADCRes, err = strconv.Atoi(fields[3]); err != nil {
+		return s, fmt.Errorf("bad adc resolution %q", fields[3])
+	}
+	if s.ADCZero, err = strconv.Atoi(fields[4]); err != nil {
+		return s, fmt.Errorf("bad adc zero %q", fields[4])
+	}
+	if !hasBaseline {
+		baseline = s.ADCZero
+	}
+	s.Baseline = baseline
+	if s.InitValue, err = strconv.Atoi(fields[5]); err != nil {
+		return s, fmt.Errorf("bad initial value %q", fields[5])
+	}
+	cs, err := strconv.Atoi(fields[6])
+	if err != nil {
+		return s, fmt.Errorf("bad checksum %q", fields[6])
+	}
+	s.Checksum = int16(cs)
+	// fields[7] is the block size (unused).
+	s.Description = strings.Join(fields[8:], " ")
+	return s, nil
+}

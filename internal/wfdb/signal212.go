@@ -1,0 +1,147 @@
+package wfdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Format-212 packing: two 12-bit two's-complement samples per 3 bytes.
+// With two signals (the MIT-BIH case) each frame holds one sample of
+// each channel:
+//
+//	byte 0: sample0 bits 0-7
+//	byte 1: low nibble = sample0 bits 8-11, high nibble = sample1 bits 8-11
+//	byte 2: sample1 bits 0-7
+
+// signal212Range checks a sample fits 12-bit two's complement.
+func signal212Range(v int16) error {
+	if v < -2048 || v > 2047 {
+		return fmt.Errorf("wfdb: sample %d outside the 12-bit format-212 range", v)
+	}
+	return nil
+}
+
+// WriteSignals212 writes a two-channel record as dir/name.dat in
+// format 212 and returns per-channel (initValue, checksum) for the
+// header. Channels must be equal, nonzero length.
+func WriteSignals212(dir, name string, ch0, ch1 []int16) (init [2]int, checksum [2]int16, err error) {
+	if len(ch0) == 0 || len(ch0) != len(ch1) {
+		return init, checksum, fmt.Errorf("wfdb: channels must be equal nonzero length (%d, %d)", len(ch0), len(ch1))
+	}
+	buf := make([]byte, 0, 3*len(ch0))
+	var sum0, sum1 int16
+	for i := range ch0 {
+		if err := signal212Range(ch0[i]); err != nil {
+			return init, checksum, err
+		}
+		if err := signal212Range(ch1[i]); err != nil {
+			return init, checksum, err
+		}
+		s0 := uint16(ch0[i]) & 0xFFF
+		s1 := uint16(ch1[i]) & 0xFFF
+		buf = append(buf,
+			byte(s0&0xFF),
+			byte((s0>>8)&0x0F)|byte((s1>>8)&0x0F)<<4,
+			byte(s1&0xFF),
+		)
+		sum0 += ch0[i]
+		sum1 += ch1[i]
+	}
+	init[0], init[1] = int(ch0[0]), int(ch1[0])
+	checksum[0], checksum[1] = sum0, sum1
+	return init, checksum, os.WriteFile(filepath.Join(dir, name+".dat"), buf, 0o644)
+}
+
+// ReadSignals212 reads a two-channel format-212 file written by
+// WriteSignals212 (or by standard WFDB tools), returning numSamples
+// samples per channel. numSamples ≤ 0 reads everything present.
+func ReadSignals212(dir, name string, numSamples int) (ch0, ch1 []int16, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, name+".dat"))
+	if err != nil {
+		return nil, nil, err
+	}
+	frames := len(data) / 3
+	if numSamples <= 0 {
+		numSamples = frames
+	}
+	if numSamples > frames {
+		return nil, nil, fmt.Errorf("wfdb: file holds %d samples, header claims %d", frames, numSamples)
+	}
+	ch0 = make([]int16, numSamples)
+	ch1 = make([]int16, numSamples)
+	for i := 0; i < numSamples; i++ {
+		b0, b1, b2 := data[3*i], data[3*i+1], data[3*i+2]
+		s0 := uint16(b0) | uint16(b1&0x0F)<<8
+		s1 := uint16(b2) | uint16(b1&0xF0)<<4
+		ch0[i] = signExtend12(s0)
+		ch1[i] = signExtend12(s1)
+	}
+	return ch0, ch1, nil
+}
+
+func signExtend12(v uint16) int16 {
+	return int16(v<<4) >> 4
+}
+
+// Record bundles a fully read two-channel record.
+type Record struct {
+	Header   *Header
+	Channels [2][]int16
+}
+
+// WriteRecord exports a two-channel record (header + format-212 data).
+// The spec template supplies gain/units/resolution; file names,
+// initial values and checksums are filled in.
+func WriteRecord(dir, name string, fs float64, ch0, ch1 []int16, spec SignalSpec, descriptions [2]string) error {
+	init, checksum, err := WriteSignals212(dir, name, ch0, ch1)
+	if err != nil {
+		return err
+	}
+	h := &Header{Name: name, Fs: fs, NumSamples: len(ch0)}
+	for c := 0; c < 2; c++ {
+		s := spec
+		s.FileName = name + ".dat"
+		s.Format = 212
+		s.InitValue = init[c]
+		s.Checksum = checksum[c]
+		s.Description = descriptions[c]
+		h.Signals = append(h.Signals, s)
+	}
+	return WriteHeader(dir, h)
+}
+
+// ReadRecord reads a two-channel format-212 record and verifies the
+// per-channel checksums and initial values against the header.
+func ReadRecord(dir, name string) (*Record, error) {
+	h, err := ReadHeader(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(h.Signals) != 2 {
+		return nil, fmt.Errorf("wfdb: record %s has %d signals, only 2-signal records supported", name, len(h.Signals))
+	}
+	for c, s := range h.Signals {
+		if s.Format != 212 {
+			return nil, fmt.Errorf("wfdb: signal %d uses format %d, only 212 supported", c, s.Format)
+		}
+	}
+	ch0, ch1, err := ReadSignals212(dir, name, h.NumSamples)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Header: h, Channels: [2][]int16{ch0, ch1}}
+	for c, ch := range rec.Channels {
+		var sum int16
+		for _, v := range ch {
+			sum += v
+		}
+		if sum != h.Signals[c].Checksum {
+			return nil, fmt.Errorf("wfdb: signal %d checksum %d, header says %d", c, sum, h.Signals[c].Checksum)
+		}
+		if len(ch) > 0 && int(ch[0]) != h.Signals[c].InitValue {
+			return nil, fmt.Errorf("wfdb: signal %d initial value %d, header says %d", c, ch[0], h.Signals[c].InitValue)
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,324 @@
+package wfdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"csecg/internal/ecg"
+)
+
+func TestSignal212RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ch0 := []int16{0, 1, -1, 2047, -2048, 100, -100, 512}
+	ch1 := []int16{-2048, 2047, 0, -1, 1, -512, 99, 3}
+	init, checksum, err := WriteSignals212(dir, "t1", ch0, ch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if init[0] != 0 || init[1] != -2048 {
+		t.Errorf("init = %v", init)
+	}
+	r0, r1, err := ReadSignals212(dir, "t1", len(ch0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ch0 {
+		if r0[i] != ch0[i] || r1[i] != ch1[i] {
+			t.Fatalf("sample %d: got (%d,%d), want (%d,%d)", i, r0[i], r1[i], ch0[i], ch1[i])
+		}
+	}
+	var s0, s1 int16
+	for i := range ch0 {
+		s0 += ch0[i]
+		s1 += ch1[i]
+	}
+	if checksum[0] != s0 || checksum[1] != s1 {
+		t.Errorf("checksums %v, want (%d,%d)", checksum, s0, s1)
+	}
+}
+
+func TestSignal212Property(t *testing.T) {
+	dir := t.TempDir()
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ch0 := make([]int16, len(raw))
+		ch1 := make([]int16, len(raw))
+		for i, v := range raw {
+			ch0[i] = v % 2048
+			ch1[i] = (v / 3) % 2048
+		}
+		if _, _, err := WriteSignals212(dir, "prop", ch0, ch1); err != nil {
+			return false
+		}
+		r0, r1, err := ReadSignals212(dir, "prop", len(ch0))
+		if err != nil {
+			return false
+		}
+		for i := range ch0 {
+			if r0[i] != ch0[i] || r1[i] != ch1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignal212Validation(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := WriteSignals212(dir, "bad", []int16{4000}, []int16{0}); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+	if _, _, err := WriteSignals212(dir, "bad", []int16{1, 2}, []int16{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := WriteSignals212(dir, "bad", nil, nil); err == nil {
+		t.Error("empty channels accepted")
+	}
+	// Claiming more samples than the file holds must fail.
+	if _, _, err := WriteSignals212(dir, "short", []int16{1}, []int16{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSignals212(dir, "short", 99); err == nil {
+		t.Error("over-long read accepted")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := &Header{
+		Name: "100", Fs: 360, NumSamples: 650000,
+		Signals: []SignalSpec{
+			{FileName: "100.dat", Format: 212, Gain: 200, Baseline: 1024, Units: "mV",
+				ADCRes: 11, ADCZero: 1024, InitValue: 995, Checksum: -22131, Description: "MLII"},
+			{FileName: "100.dat", Format: 212, Gain: 200, Baseline: 1024, Units: "mV",
+				ADCRes: 11, ADCZero: 1024, InitValue: 1011, Checksum: 20052, Description: "V5"},
+		},
+	}
+	if err := WriteHeader(dir, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHeader(dir, "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "100" || got.Fs != 360 || got.NumSamples != 650000 {
+		t.Errorf("record line mismatch: %+v", got)
+	}
+	if len(got.Signals) != 2 {
+		t.Fatalf("parsed %d signals", len(got.Signals))
+	}
+	s := got.Signals[0]
+	if s.Gain != 200 || s.Baseline != 1024 || s.Units != "mV" || s.ADCRes != 11 ||
+		s.InitValue != 995 || s.Checksum != -22131 || s.Description != "MLII" {
+		t.Errorf("signal 0 mismatch: %+v", s)
+	}
+}
+
+func TestReadHeaderRealWorldLine(t *testing.T) {
+	// A verbatim MIT-BIH header (gain without explicit baseline).
+	dir := t.TempDir()
+	content := "100 2 360 650000\n" +
+		"100.dat 212 200 11 1024 995 -22131 0 MLII\n" +
+		"100.dat 212 200 11 1024 1011 20052 0 V5\n"
+	if err := os.WriteFile(filepath.Join(dir, "100.hea"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(dir, "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Signals[0].Gain != 200 || h.Signals[0].Baseline != 1024 {
+		t.Errorf("gain/baseline = %v/%d", h.Signals[0].Gain, h.Signals[0].Baseline)
+	}
+	if h.Signals[1].Description != "V5" {
+		t.Errorf("description = %q", h.Signals[1].Description)
+	}
+}
+
+func TestReadHeaderRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"",                   // empty
+		"100 x 360 650000\n", // bad nsig
+		"100 2 0 650000\n",   // bad fs
+		"100 2 360 650000\n" + "f.dat 212 200 11\n",                        // short signal line
+		"100 2 360 650000\n" + "f.dat 212 200 11 1024 995 -22131 0 MLII\n", // missing 2nd signal
+	}
+	for i, c := range cases {
+		os.WriteFile(filepath.Join(dir, "bad.hea"), []byte(c), 0o644)
+		if _, err := ReadHeader(dir, "bad"); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestWriteReadRecordEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := ecg.RecordByID("100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch0 := ecg.Digitize(sig.MV[0])
+	ch1 := ecg.Digitize(sig.MV[1])
+	spec := SignalSpec{
+		Gain: ecg.ADCGain, Baseline: ecg.ADCBaseline, Units: "mV",
+		ADCRes: ecg.ADCBits, ADCZero: ecg.ADCBaseline,
+	}
+	if err := WriteRecord(dir, "100", ecg.FsMITBIH, ch0, ch1, spec, [2]string{"MLII", "V1"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecord(dir, "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Header.Fs != 360 || back.Header.NumSamples != len(ch0) {
+		t.Errorf("header mismatch: %+v", back.Header)
+	}
+	for i := range ch0 {
+		if back.Channels[0][i] != ch0[i] || back.Channels[1][i] != ch1[i] {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRecordDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	ch := []int16{10, 20, 30, 40}
+	spec := SignalSpec{Gain: 200, Baseline: 1024, Units: "mV", ADCRes: 11, ADCZero: 1024}
+	if err := WriteRecord(dir, "c", 360, ch, ch, spec, [2]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a data byte: checksum must catch it.
+	path := filepath.Join(dir, "c.dat")
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := ReadRecord(dir, "c"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption not detected: %v", err)
+	}
+}
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	anns := []Annotation{
+		{Sample: 100, Code: CodeNormal},
+		{Sample: 400, Code: CodePVC},
+		{Sample: 700, Code: CodeAPC},
+		{Sample: 50000, Code: CodeNormal}, // forces a SKIP word
+		{Sample: 50300, Code: CodeNormal},
+	}
+	if err := WriteAnnotations(dir, "a", anns); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnnotations(dir, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(anns) {
+		t.Fatalf("got %d annotations, want %d", len(got), len(anns))
+	}
+	for i := range anns {
+		if got[i] != anns[i] {
+			t.Errorf("annotation %d: %+v, want %+v", i, got[i], anns[i])
+		}
+	}
+}
+
+func TestAnnotationsProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(deltas []uint16, codesRaw []uint8) bool {
+		n := len(deltas)
+		if len(codesRaw) < n {
+			n = len(codesRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		anns := make([]Annotation, n)
+		t0 := 0
+		codes := []int{CodeNormal, CodePVC, CodeAPC}
+		for i := 0; i < n; i++ {
+			t0 += int(deltas[i]) // up to 65535 gaps, exercising SKIP
+			anns[i] = Annotation{Sample: t0, Code: codes[int(codesRaw[i])%3]}
+		}
+		if err := WriteAnnotations(dir, "p", anns); err != nil {
+			return false
+		}
+		got, err := ReadAnnotations(dir, "p")
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range anns {
+			if got[i] != anns[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnotationsValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteAnnotations(dir, "v", []Annotation{{Sample: 10, Code: 99}}); err == nil {
+		t.Error("invalid code accepted")
+	}
+	if err := WriteAnnotations(dir, "v", []Annotation{{Sample: 10, Code: 1}, {Sample: 5, Code: 1}}); err == nil {
+		t.Error("descending samples accepted")
+	}
+	// Truncated stream (no terminator).
+	os.WriteFile(filepath.Join(dir, "t.atr"), []byte{0xFF, 0x07}, 0o644)
+	if _, err := ReadAnnotations(dir, "t"); err == nil {
+		t.Error("missing terminator accepted")
+	}
+}
+
+func TestAnnotationsFromSignal(t *testing.T) {
+	rec, err := ecg.RecordByID("208") // PVC-rich
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rec.Synthesize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := AnnotationsFromSignal(sig)
+	if len(anns) == 0 {
+		t.Fatal("no annotations")
+	}
+	sawPVC := false
+	prev := -1
+	for _, a := range anns {
+		if a.Sample <= prev {
+			t.Fatal("annotations not ascending")
+		}
+		prev = a.Sample
+		if a.Code == CodePVC {
+			sawPVC = true
+		}
+	}
+	if !sawPVC {
+		t.Error("record 208 produced no PVC annotations over 30 s")
+	}
+}
+
+func TestCodeForBeat(t *testing.T) {
+	if CodeForBeat(ecg.Normal) != CodeNormal || CodeForBeat(ecg.PVC) != CodePVC ||
+		CodeForBeat(ecg.APC) != CodeAPC || CodeForBeat(ecg.Dropped) != -1 {
+		t.Error("beat-code mapping wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package csecg
+
+import (
+	"fmt"
+	"time"
+
+	"csecg/internal/coordinator"
+	"csecg/internal/energy"
+	"csecg/internal/link"
+	"csecg/internal/metrics"
+	"csecg/internal/mote"
+)
+
+// StreamConfig describes an end-to-end monitoring session: one record
+// channel streamed through the instrumented mote, the Bluetooth link and
+// the real-time coordinator.
+type StreamConfig struct {
+	// RecordID selects the substitute-database record (default "100").
+	RecordID string
+	// Channel selects the lead (0 or 1).
+	Channel int
+	// Seconds of signal to stream (default 60).
+	Seconds float64
+	// Params configures the pipeline.
+	Params Params
+	// Mode selects the coordinator build (default ModeNEON).
+	Mode coordinator.Mode
+	// Link configures the transport (zero value → DefaultLinkConfig).
+	Link LinkConfig
+}
+
+// StreamReport aggregates a session.
+type StreamReport struct {
+	// Windows processed and packets lost on the link.
+	Windows, Lost int
+	// MeanPRDN and WorstPRDN summarize reconstruction quality over the
+	// successfully decoded windows (excluding the cold-start window).
+	MeanPRDN, WorstPRDN float64
+	// WireCR is the overall compression ratio of Eq. (7) including
+	// packet framing, against 12-bit raw streaming.
+	WireCR float64
+	// MoteCPU and CoordinatorCPU are mean modeled CPU shares.
+	MoteCPU, CoordinatorCPU float64
+	// MeanIterations and MeanDecodeTime characterize the recovery cost.
+	MeanIterations float64
+	// MeanDecodeTime is the modeled on-device decode time per packet.
+	MeanDecodeTime time.Duration
+	// AirtimePerWindow is the radio-on time per 2-second window.
+	AirtimePerWindow time.Duration
+	// LifetimeRaw and LifetimeCS are modeled node lifetimes streaming
+	// uncompressed versus CS-compressed; Extension is their ratio − 1.
+	LifetimeRaw, LifetimeCS time.Duration
+	// Extension is the relative lifetime gain (the paper: 12.9% at CR 50).
+	Extension float64
+	// Display is the viewer simulation over the session's decode times.
+	Display *coordinator.DisplayReport
+}
+
+// RunStream executes the full pipeline and returns the session report.
+func RunStream(cfg StreamConfig) (*StreamReport, error) {
+	if cfg.RecordID == "" {
+		cfg.RecordID = "100"
+	}
+	if cfg.Seconds == 0 {
+		cfg.Seconds = 60
+	}
+	if cfg.Link.EffectiveBitrate == 0 {
+		cfg.Link = DefaultLinkConfig()
+	}
+	rec, err := RecordByID(cfg.RecordID)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := rec.Channel256(cfg.Seconds, cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mote.New(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := coordinator.NewRealTimeDecoder(cfg.Params, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	lnk, err := link.New(cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	rep := &StreamReport{}
+	var rawBits, compBits int
+	var sumPRDN float64
+	var prCount int
+	var sumIters int64
+	var decodeTimes []float64
+	var sumDecode time.Duration
+	n := cfg.Params.N
+	if n == 0 {
+		n = WindowSize
+	}
+	for o := 0; o+n <= len(samples); o += n {
+		win := samples[o : o+n]
+		mr, err := m.EncodeWindow(win)
+		if err != nil {
+			return nil, fmt.Errorf("csecg: encoding window %d: %w", rep.Windows, err)
+		}
+		rep.Windows++
+		rawBits += n * 12
+		compBits += mr.Packet.WireSize() * 8
+		rx, _, err := lnk.TransmitPacket(mr.Packet)
+		if err != nil {
+			return nil, err
+		}
+		if rx == nil {
+			rep.Lost++
+			continue
+		}
+		res, err := dec.Decode(rx)
+		if err != nil {
+			// Sequence gap after loss: wait for the next key frame.
+			continue
+		}
+		sumIters += int64(res.Iterations)
+		sumDecode += res.ModeledTime
+		decodeTimes = append(decodeTimes, res.ModeledTime.Seconds())
+		if rep.Windows > 1 { // skip cold start in the quality stats
+			orig := make([]float64, n)
+			reco := make([]float64, n)
+			for i := range win {
+				orig[i] = float64(win[i])
+				reco[i] = float64(res.Samples[i])
+			}
+			prdn, err := metrics.PRDN(orig, reco)
+			if err == nil {
+				sumPRDN += prdn
+				prCount++
+				if prdn > rep.WorstPRDN {
+					rep.WorstPRDN = prdn
+				}
+			}
+		}
+	}
+	if rep.Windows == 0 {
+		return nil, fmt.Errorf("csecg: record shorter than one window")
+	}
+	if prCount > 0 {
+		rep.MeanPRDN = sumPRDN / float64(prCount)
+	}
+	decoded := rep.Windows - rep.Lost
+	if decoded > 0 {
+		rep.MeanIterations = float64(sumIters) / float64(decoded)
+		rep.MeanDecodeTime = sumDecode / time.Duration(decoded)
+	}
+	rep.WireCR = metrics.CR(rawBits, compBits)
+	rep.MoteCPU = m.AverageCPUUsage()
+	rep.CoordinatorCPU = dec.AverageCPUUsage()
+
+	// Energy: compare against streaming the raw 12-bit samples.
+	st := lnk.Stats()
+	windowSeconds := float64(n) / FsMote
+	if rep.Windows > 0 {
+		rep.AirtimePerWindow = st.Airtime / time.Duration(rep.Windows)
+	}
+	budget := energy.DefaultBudget()
+	rawAirtime := lnk.Airtime(n * 12 / 8)
+	rawLoad, err := energy.LoadFromAirtime(rawAirtime, 0, windowSeconds)
+	if err != nil {
+		return nil, err
+	}
+	csLoad, err := energy.LoadFromAirtime(rep.AirtimePerWindow,
+		time.Duration(rep.MoteCPU*windowSeconds*float64(time.Second)), windowSeconds)
+	if err != nil {
+		return nil, err
+	}
+	if rep.LifetimeRaw, err = budget.Lifetime(rawLoad); err != nil {
+		return nil, err
+	}
+	if rep.LifetimeCS, err = budget.Lifetime(csLoad); err != nil {
+		return nil, err
+	}
+	rep.Extension = rep.LifetimeCS.Seconds()/rep.LifetimeRaw.Seconds() - 1
+
+	if len(decodeTimes) > 0 {
+		rep.Display, err = coordinator.SimulateDisplay(coordinator.DisplayConfig{}, windowSeconds, decodeTimes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
