@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml so `make check` reproduces CI locally.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz-smoke bench
+
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race instrumentation slows the FISTA-heavy experiment-shape tests past
+# any reasonable timeout; they run un-instrumented in `test` and skip
+# themselves under -short.
+race:
+	$(GO) test -race -short ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzPacketStream -fuzztime=10s -run=FuzzPacketStream ./internal/core
+	$(GO) test -fuzz=FuzzUnmarshalPacket -fuzztime=10s -run=FuzzUnmarshalPacket ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

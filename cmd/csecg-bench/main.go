@@ -10,8 +10,8 @@
 //	csecg-bench -exp fig7 -format csv    # machine-readable output
 //
 // Paper experiments: fig2, fig6, fig7, encoder, memory, speedup, cpu,
-// lifetime, convergence. Extensions: resilience, baseline, analog,
-// diagnostic, holter-report. Ablations: ablation-basis,
+// lifetime, convergence. Extensions: resilience, transport, baseline,
+// analog, diagnostic, holter-report. Ablations: ablation-basis,
 // ablation-wavelet, ablation-solver, ablation-redundancy,
 // ablation-huffman, ablation-shift.
 package main
@@ -118,6 +118,13 @@ func main() {
 		}},
 		{"resilience", func() (*experiments.Table, error) {
 			r, err := experiments.Resilience(opt)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"transport", func() (*experiments.Table, error) {
+			r, err := experiments.Transport(opt)
 			if err != nil {
 				return nil, err
 			}

@@ -64,11 +64,29 @@ type (
 	Codebook = huffman.Codebook
 )
 
-// Packet kinds.
+// Packet kinds. KindKey and KindDelta carry data downlink; KindNack and
+// KindKeyRequest are the transport's uplink control packets.
 const (
-	KindKey   = core.KindKey
-	KindDelta = core.KindDelta
+	KindKey        = core.KindKey
+	KindDelta      = core.KindDelta
+	KindNack       = core.KindNack
+	KindKeyRequest = core.KindKeyRequest
 )
+
+// MaxNackRange caps the windows one NACK may request — the mote's
+// retransmit ring can never usefully exceed it.
+const MaxNackRange = core.MaxNackRange
+
+// NewNack builds a control packet requesting retransmission of count
+// windows starting at firstSeq.
+func NewNack(firstSeq uint32, count int) *Packet { return core.NewNack(firstSeq, count) }
+
+// NackRange parses a NACK's requested window range.
+func NackRange(p *Packet) (uint32, int, error) { return core.NackRange(p) }
+
+// NewKeyRequest builds a control packet asking the mote to promote its
+// next window to a key frame.
+func NewKeyRequest(nextSeq uint32) *Packet { return core.NewKeyRequest(nextSeq) }
 
 // NewEncoder builds the mote-side encoder.
 func NewEncoder(p Params) (*Encoder, error) { return core.NewEncoder(p) }
@@ -140,6 +158,19 @@ type (
 	Link = link.Link
 	// LinkConfig configures it.
 	LinkConfig = link.Config
+	// LinkStats snapshots the link's fault-injection counters.
+	LinkStats = link.Stats
+	// BurstConfig parameterizes the Gilbert–Elliott burst-loss channel.
+	BurstConfig = link.BurstConfig
+	// TransportConfig tunes the coordinator's fault-tolerant receive
+	// path (reorder buffering, NACK resync, retry backoff).
+	TransportConfig = coordinator.TransportConfig
+	// TransportStats reports gap/resync accounting for a session.
+	TransportStats = coordinator.TransportStats
+	// Receiver is the coordinator's transport endpoint.
+	Receiver = coordinator.Receiver
+	// TransportDecoded pairs a released window with its sequence number.
+	TransportDecoded = coordinator.Decoded
 	// EnergyBudget is the battery/current model.
 	EnergyBudget = energy.Budget
 	// EnergyLoad is one radio/CPU duty operating point.
@@ -165,6 +196,12 @@ func NewRealTimeDecoder(p Params, mode coordinator.Mode) (*RealTimeDecoder, erro
 
 // NewLink builds a Bluetooth-class transport.
 func NewLink(cfg LinkConfig) (*Link, error) { return link.New(cfg) }
+
+// NewReceiver builds the coordinator's fault-tolerant transport
+// endpoint around a platform decoder.
+func NewReceiver(dec *RealTimeDecoder, cfg TransportConfig) *Receiver {
+	return coordinator.NewReceiver(dec, cfg)
+}
 
 // DefaultLinkConfig returns a clean 90 kbit/s serial-profile link.
 func DefaultLinkConfig() LinkConfig { return link.DefaultConfig() }

@@ -152,6 +152,59 @@ func TestRunStreamLossyLink(t *testing.T) {
 	}
 }
 
+// TestNackRecoveryBeatsKeyFrameWait is the acceptance bar for the
+// fault-tolerant transport: on a bursty channel with ≥5% mean loss and
+// sparse scheduled key frames, NACK-driven resync must recover at least
+// twice the decoded windows of the wait-for-key-frame baseline.
+func TestNackRecoveryBeatsKeyFrameWait(t *testing.T) {
+	burst := &BurstConfig{PGoodBad: 0.06, PBadGood: 0.5}
+	if sl := burst.StationaryLoss(); sl < 0.05 {
+		t.Fatalf("stationary loss %.3f below the 5%% requirement", sl)
+	}
+	base := StreamConfig{
+		RecordID: "119",
+		Seconds:  60,
+		Params:   Params{Seed: 11, M: MForCR(50, WindowSize)}, // KeyFrameInterval default 64
+		Mode:     ModeVFP,
+	}
+	base.Link = DefaultLinkConfig()
+	base.Link.Burst = burst
+	base.Link.Seed = 0xB02
+	baseline, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nackCfg := base
+	nackCfg.Transport = TransportConfig{NACK: true}
+	nacked, err := RunStream(nackCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Lost == 0 || nacked.Lost == 0 {
+		t.Fatalf("burst channel dropped nothing (baseline %d, nack %d)", baseline.Lost, nacked.Lost)
+	}
+	if baseline.Decoded >= baseline.Windows {
+		t.Fatalf("baseline decoded everything (%d/%d); channel not stressful enough",
+			baseline.Decoded, baseline.Windows)
+	}
+	if nacked.Decoded < 2*baseline.Decoded {
+		t.Errorf("NACK decoded %d of %d windows, baseline %d — want ≥ 2× recovery",
+			nacked.Decoded, nacked.Windows, baseline.Decoded)
+	}
+	if nacked.Transport.NacksSent == 0 || nacked.Retransmits == 0 {
+		t.Errorf("no NACK traffic recorded: %+v", nacked.Transport)
+	}
+	if nacked.RetransmitAirtime <= 0 {
+		t.Error("retransmissions consumed no airtime")
+	}
+	if nacked.AirtimePerWindow <= baseline.AirtimePerWindow {
+		t.Error("retransmit airtime not charged to the energy model")
+	}
+	if baseline.Transport.Gaps == 0 || baseline.Transport.LongestOutage == 0 {
+		t.Errorf("baseline gap accounting empty: %+v", baseline.Transport)
+	}
+}
+
 func TestRunStreamErrors(t *testing.T) {
 	if _, err := RunStream(StreamConfig{RecordID: "999"}); err == nil {
 		t.Error("unknown record accepted")

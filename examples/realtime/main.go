@@ -1,13 +1,18 @@
 // Realtime: a live producer-consumer monitor mirroring the paper's
-// iPhone application structure with goroutines.
+// iPhone application structure with goroutines — now over a faulty
+// radio.
 //
 // Three goroutines communicate over channels exactly like the paper's
 // threads communicate over the shared buffer:
 //
-//   - the mote goroutine senses, compresses and "transmits" a packet
-//     every window period;
-//   - the decoder goroutine receives packets, runs the real-time FISTA
-//     reconstruction, and appends samples to the display buffer;
+//   - the mote goroutine senses, compresses and transmits a packet every
+//     window period through a Gilbert–Elliott burst-loss link, keeps the
+//     last few packets in its bounded retransmit ring, and serves the
+//     coordinator's NACKs;
+//   - the decoder goroutine ingests whatever the channel delivers
+//     (dropped, duplicated, reordered frames included) through the
+//     fault-tolerant Receiver, runs the real-time FISTA reconstruction
+//     on every released window, and NACKs sequence gaps over the uplink;
 //   - the display goroutine wakes on a ticker and drains the buffer at
 //     the real-time rate, rendering an ASCII trace strip per window.
 //
@@ -34,14 +39,18 @@ const (
 
 func main() {
 	params := csecg.Params{Seed: 77, M: csecg.MForCR(50, csecg.WindowSize)}
-	enc, err := csecg.NewEncoder(params)
+	m, err := csecg.NewMote(params)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.EnableRetransmitBuffer(4); err != nil {
 		log.Fatal(err)
 	}
 	dec, err := csecg.NewRealTimeDecoder(params, csecg.ModeNEON)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rx := csecg.NewReceiver(dec, csecg.TransportConfig{NACK: true})
 	rec, err := csecg.RecordByID("119") // trigeminy-like PVCs: visible ectopy
 	if err != nil {
 		log.Fatal(err)
@@ -51,43 +60,124 @@ func main() {
 		log.Fatal(err)
 	}
 
-	packets := make(chan *csecg.Packet, 3)
+	// The downlink drops in bursts (~11% mean loss) and occasionally
+	// reorders or duplicates; the uplink shares the channel quality.
+	linkCfg := csecg.DefaultLinkConfig()
+	linkCfg.Burst = &csecg.BurstConfig{PGoodBad: 0.06, PBadGood: 0.5}
+	linkCfg.ReorderProb = 0.05
+	linkCfg.DupProb = 0.03
+	linkCfg.Seed = 0xEC6
+	down, err := csecg.NewLink(linkCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	upCfg := linkCfg
+	upCfg.Seed = 0x0EC7
+	up, err := csecg.NewLink(upCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// packets carries delivered downlink frames; a nil marks the end of
+	// one window period (the receiver's slot clock). control carries
+	// NACK/key-request packets that survived the uplink.
+	packets := make(chan *csecg.Packet, 8)
+	control := make(chan *csecg.Packet, 8)
 	displayBuf := newRing(6 * csecg.FsMote) // the paper's 6-second buffer
 
 	var wg sync.WaitGroup
 	windowPeriod := 2 * time.Second / timeCompression
 
-	// Mote: one packet per window period.
+	// Mote: serve pending control traffic, then one packet per window.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(packets)
-		ticker := time.NewTicker(windowPeriod)
-		defer ticker.Stop()
-		for o := 0; o+csecg.WindowSize <= len(samples); o += csecg.WindowSize {
-			pkt, err := enc.EncodeWindow(samples[o : o+csecg.WindowSize])
+		send := func(pkt *csecg.Packet) {
+			delivered, _, err := down.TransmitPacketMulti(pkt)
 			if err != nil {
 				log.Fatal(err)
 			}
-			packets <- pkt
+			for _, p := range delivered {
+				packets <- p
+			}
+		}
+		ticker := time.NewTicker(windowPeriod)
+		defer ticker.Stop()
+		for o := 0; o+csecg.WindowSize <= len(samples); o += csecg.WindowSize {
+			for drained := false; !drained; {
+				select {
+				case c := <-control:
+					switch c.Kind {
+					case csecg.KindNack:
+						first, count, err := csecg.NackRange(c)
+						if err != nil {
+							log.Fatal(err)
+						}
+						for i := 0; i < count; i++ {
+							if pkt, ok := m.Retransmit(first + uint32(i)); ok {
+								send(pkt)
+							}
+						}
+					case csecg.KindKeyRequest:
+						m.RequestKeyFrame()
+					}
+				default:
+					drained = true
+				}
+			}
+			mr, err := m.EncodeWindow(samples[o : o+csecg.WindowSize])
+			if err != nil {
+				log.Fatal(err)
+			}
+			send(mr.Packet)
+			packets <- nil // end of this window period
 			<-ticker.C
 		}
 	}()
 
-	// Decoder: real-time reconstruction into the display ring.
+	// Decoder: fault-tolerant receive, real-time reconstruction into the
+	// display ring, NACKs back over the uplink.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		show := func(out []csecg.TransportDecoded) {
+			for _, d := range out {
+				displayBuf.push(d.Res.Samples)
+				tag := ""
+				if d.Res.Resynced {
+					tag = "  [resynced]"
+				}
+				fmt.Printf("window %2d: %4d iterations, modeled decode %5.0f ms, CPU %4.1f%%%s\n",
+					d.Seq, d.Res.Iterations, d.Res.ModeledTime.Seconds()*1000, d.Res.CPUUsage*100, tag)
+			}
+		}
 		for pkt := range packets {
-			res, err := dec.Decode(pkt)
-			if err != nil {
-				log.Printf("decoder: %v", err)
+			if pkt != nil {
+				out, err := rx.Push(pkt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				show(out)
 				continue
 			}
-			displayBuf.push(res.Samples)
-			fmt.Printf("packet %2d: %4d iterations, modeled decode %5.0f ms, CPU %4.1f%%\n",
-				pkt.Seq, res.Iterations, res.ModeledTime.Seconds()*1000, res.CPUUsage*100)
+			ctrl, late := rx.EndSlot()
+			show(late)
+			for _, c := range ctrl {
+				delivered, _, err := up.TransmitPacket(c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if delivered == nil {
+					continue // the uplink ate the request; backoff retries
+				}
+				select {
+				case control <- delivered:
+				default: // mote busy: treated as one more lost request
+				}
+			}
 		}
+		show(rx.Close())
 		displayBuf.close()
 	}()
 
@@ -105,8 +195,16 @@ func main() {
 	}()
 
 	wg.Wait()
+	st := rx.Stats()
+	ls := down.Stats()
 	fmt.Printf("\nsession done: coordinator CPU %.1f%% (modeled), iteration budget %d\n",
 		dec.AverageCPUUsage()*100, dec.IterationBudget())
+	fmt.Printf("downlink: %d sent, %d dropped, %d corrupted, %d reordered, %d duplicated (%d burst-state slots)\n",
+		ls.Sent, ls.Dropped, ls.Corrupted, ls.Reordered, ls.Duplicated, ls.BadSlots)
+	fmt.Printf("transport: %d/%d windows decoded, %d gaps (longest outage %d, mean recovery %.1f win), %d abandoned\n",
+		st.Decoded, st.Received, st.Gaps, st.LongestOutage, st.MeanRecovery(), st.Abandoned)
+	fmt.Printf("resync: %d NACKs, %d key requests, %d retransmits served, %d resyncs\n",
+		st.NacksSent, st.KeyRequestsSent, m.Retransmits(), st.Resyncs)
 }
 
 // renderStrip draws a window as a one-line ASCII trace: column height

@@ -1,0 +1,390 @@
+package coordinator
+
+import (
+	"fmt"
+
+	"csecg/internal/core"
+)
+
+// TransportConfig tunes the coordinator's fault-tolerant receive path.
+// The zero value enables reorder buffering and duplicate suppression
+// only — the decoder's scheduled-key-frame recovery, made observable.
+// Setting NACK adds the control channel: on a sequence gap the receiver
+// requests selective retransmission from the mote's bounded ring with
+// exponential backoff, falls back to an on-demand key-frame request
+// when retransmission is exhausted, and finally goes passive to await
+// the scheduled key frame.
+type TransportConfig struct {
+	// NACK enables the uplink control channel.
+	NACK bool
+	// ReorderWindow caps the packets buffered ahead of a gap
+	// (default 8).
+	ReorderWindow int
+	// MaxRetries caps NACK attempts per gap episode, and again the
+	// key-frame request attempts that follow (default 3).
+	MaxRetries int
+	// BackoffWindows is the initial retry spacing in window slots; it
+	// doubles after every attempt (default 1).
+	BackoffWindows int
+	// WaitWindows is how long a NACK-less receiver holds a gap open for
+	// late (reordered) arrivals before abandoning the missing windows
+	// (default 2).
+	WaitWindows int
+}
+
+// withDefaults fills zero fields.
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffWindows == 0 {
+		c.BackoffWindows = 1
+	}
+	if c.WaitWindows == 0 {
+		c.WaitWindows = 2
+	}
+	return c
+}
+
+// TransportStats reports what the channel did to the session — the
+// per-window gap accounting the paper's clean-link demo never needed.
+type TransportStats struct {
+	// Received counts packets entering the receiver (including
+	// duplicates); Decoded the windows actually reconstructed;
+	// DecodeFailures the in-order packets the decoder rejected
+	// (desynchronized deltas after an abandoned gap).
+	Received, Decoded, DecodeFailures int
+	// Duplicates counts suppressed duplicate arrivals, Buffered the
+	// packets held past a gap and delivered late, Overflows the packets
+	// discarded because the reorder buffer was full.
+	Duplicates, Buffered, Overflows int
+	// Gaps counts stall episodes (first missing window to full
+	// catch-up); Resyncs the key-frame resynchronizations the decoder
+	// performed after a gap.
+	Gaps, Resyncs int
+	// NacksSent and KeyRequestsSent count control packets emitted.
+	NacksSent, KeyRequestsSent int
+	// Abandoned counts windows given up for good.
+	Abandoned int
+	// LongestOutage is the longest run of consecutive undecoded
+	// windows.
+	LongestOutage int
+	// RecoveryWindows is the per-gap recovery latency distribution:
+	// window slots from gap detection to stream catch-up.
+	RecoveryWindows []int
+}
+
+// MeanRecovery returns the mean gap-recovery latency in windows.
+func (s TransportStats) MeanRecovery() float64 {
+	if len(s.RecoveryWindows) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, w := range s.RecoveryWindows {
+		sum += w
+	}
+	return float64(sum) / float64(len(s.RecoveryWindows))
+}
+
+// Decoded pairs a reconstruction with its window sequence number (the
+// receiver releases windows strictly in sequence order).
+type Decoded struct {
+	Seq uint32
+	Res *Result
+}
+
+// gapState tracks one stall episode.
+type gapState struct {
+	openedSlot int
+	first      uint32
+	retries    int // NACK attempts used
+	keyRetries int // key-frame request attempts used
+	nextRetry  int // slot at which the next control packet fires
+	backoff    int
+	passive    bool // exhausted; awaiting the scheduled key frame
+}
+
+// Receiver is the coordinator's transport endpoint: it ingests packets
+// off the (lossy, reordering, duplicating) link, releases windows to
+// the RealTimeDecoder strictly in order, and drives the NACK resync
+// state machine. Call Push for every arriving packet, EndSlot once per
+// window period (its return is the control traffic to send uplink), and
+// Close when the stream ends.
+//
+// The receiver is not safe for concurrent use; one goroutine must own
+// it.
+type Receiver struct {
+	dec *RealTimeDecoder
+	cfg TransportConfig
+
+	expected uint32 // next sequence number to release
+	maxSeen  uint32 // highest sequence number observed
+	anySeen  bool
+	slot     int // window slots elapsed = windows produced by the mote
+	buf      map[uint32]*core.Packet
+	gap      *gapState
+	outage   int // current run of undecoded windows
+
+	stats TransportStats
+}
+
+// NewReceiver builds a receiver around the platform decoder.
+func NewReceiver(dec *RealTimeDecoder, cfg TransportConfig) *Receiver {
+	return &Receiver{
+		dec: dec,
+		cfg: cfg.withDefaults(),
+		buf: map[uint32]*core.Packet{},
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (r *Receiver) Stats() TransportStats {
+	s := r.stats
+	s.RecoveryWindows = append([]int(nil), r.stats.RecoveryWindows...)
+	return s
+}
+
+// Push ingests one packet from the link, returning any windows released
+// (in sequence order). Control-kind packets are rejected — they belong
+// on the uplink.
+func (r *Receiver) Push(pkt *core.Packet) ([]Decoded, error) {
+	if pkt == nil {
+		return nil, nil
+	}
+	if pkt.Kind.IsControl() {
+		return nil, fmt.Errorf("coordinator: control packet kind %d on the downlink", pkt.Kind)
+	}
+	r.stats.Received++
+	if pkt.Seq > r.maxSeen || !r.anySeen {
+		r.maxSeen = pkt.Seq
+		r.anySeen = true
+	}
+	if pkt.Seq < r.expected {
+		r.stats.Duplicates++
+		return nil, nil
+	}
+	if _, dup := r.buf[pkt.Seq]; dup {
+		r.stats.Duplicates++
+		return nil, nil
+	}
+	if pkt.Seq != r.expected {
+		if len(r.buf) >= r.cfg.ReorderWindow {
+			r.stats.Overflows++
+			return nil, nil
+		}
+		r.buf[pkt.Seq] = pkt
+		r.stats.Buffered++
+		return nil, nil
+	}
+	r.buf[pkt.Seq] = pkt
+	return r.drain(), nil
+}
+
+// drain releases consecutive buffered windows starting at expected.
+func (r *Receiver) drain() []Decoded {
+	var out []Decoded
+	for {
+		pkt, ok := r.buf[r.expected]
+		if !ok {
+			break
+		}
+		delete(r.buf, r.expected)
+		seq := r.expected
+		r.expected++
+		res, err := r.dec.Decode(pkt)
+		if err != nil {
+			// In-order arrival the decoder still rejects: a delta
+			// behind an abandoned gap (desynchronized until the next
+			// key frame). The window is lost.
+			r.stats.DecodeFailures++
+			r.bumpOutage(1)
+			continue
+		}
+		r.stats.Decoded++
+		r.outage = 0
+		if res.Resynced {
+			r.stats.Resyncs++
+		}
+		out = append(out, Decoded{Seq: seq, Res: res})
+	}
+	r.closeGapIfCaughtUp()
+	return out
+}
+
+// bumpOutage extends the current undecoded run by n windows.
+func (r *Receiver) bumpOutage(n int) {
+	r.outage += n
+	if r.outage > r.stats.LongestOutage {
+		r.stats.LongestOutage = r.outage
+	}
+}
+
+// closeGapIfCaughtUp ends the stall episode once every produced window
+// has been released or abandoned and nothing is parked in the buffer.
+func (r *Receiver) closeGapIfCaughtUp() {
+	if r.gap == nil {
+		return
+	}
+	if len(r.buf) == 0 && int(r.expected) >= r.slot {
+		r.stats.RecoveryWindows = append(r.stats.RecoveryWindows, r.slot-r.gap.openedSlot+1)
+		r.gap = nil
+	}
+}
+
+// abandonTo gives up on the windows in [expected, to): they can no
+// longer arrive (or retransmission is exhausted). Buffered successors
+// are then drained; desynchronized deltas among them fail decode and
+// the next key frame resynchronizes.
+func (r *Receiver) abandonTo(to uint32) []Decoded {
+	if to <= r.expected {
+		return nil
+	}
+	n := int(to - r.expected)
+	r.stats.Abandoned += n
+	r.bumpOutage(n)
+	r.expected = to
+	// Drop buffered packets the jump overtook (deltas parked behind the
+	// key frame we skipped to): they are already counted abandoned, and
+	// leaving them would wedge the buffer forever.
+	for seq := range r.buf {
+		if seq < r.expected {
+			delete(r.buf, seq)
+		}
+	}
+	return r.drain()
+}
+
+// earliestBufferedKey returns the smallest buffered key-frame sequence.
+func (r *Receiver) earliestBufferedKey() (uint32, bool) {
+	var min uint32
+	found := false
+	for seq, pkt := range r.buf {
+		if pkt.Kind == core.KindKey && (!found || seq < min) {
+			min = seq
+			found = true
+		}
+	}
+	return min, found
+}
+
+// minBuffered returns the smallest buffered sequence number.
+func (r *Receiver) minBuffered() (uint32, bool) {
+	var min uint32
+	found := false
+	for seq := range r.buf {
+		if !found || seq < min {
+			min = seq
+			found = true
+		}
+	}
+	return min, found
+}
+
+// EndSlot marks the end of one window period: the mote has produced
+// (and the channel has delivered, dropped or delayed) exactly one more
+// window. It returns the control packets to send on the uplink, plus
+// any windows released by abandoning a hopeless gap.
+func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
+	r.slot++
+	if int(r.expected) >= r.slot && len(r.buf) == 0 {
+		// Fully caught up (gap already closed by drain).
+		return nil, nil
+	}
+	if r.gap == nil {
+		r.gap = &gapState{
+			openedSlot: r.slot,
+			first:      r.expected,
+			nextRetry:  r.slot,
+			backoff:    r.cfg.BackoffWindows,
+		}
+		r.stats.Gaps++
+	}
+	g := r.gap
+	if !r.cfg.NACK {
+		// No control channel: hold briefly for reordered late
+		// arrivals, then fall back to the scheduled key frame.
+		if r.slot-g.openedSlot+1 >= r.cfg.WaitWindows {
+			return nil, r.abandonBehindBuffer()
+		}
+		return nil, nil
+	}
+	if g.passive {
+		return nil, r.abandonBehindBuffer()
+	}
+	if ks, ok := r.earliestBufferedKey(); ok {
+		// A guaranteed resync point is already in hand. Give the last
+		// NACK's retransmits one backoff round to restore the full
+		// history; once the NACK ladder is exhausted or the round
+		// expires, jumping to the key frame beats stalling the display.
+		if g.retries >= r.cfg.MaxRetries || r.slot >= g.nextRetry {
+			return nil, r.abandonTo(ks)
+		}
+		return nil, nil
+	}
+	if r.slot < g.nextRetry {
+		return nil, nil
+	}
+	if g.retries < r.cfg.MaxRetries {
+		g.retries++
+		g.nextRetry = r.slot + g.backoff
+		g.backoff *= 2
+		r.stats.NacksSent++
+		return []*core.Packet{core.NewNack(r.expected, r.missingCount())}, nil
+	}
+	if g.keyRetries < r.cfg.MaxRetries {
+		g.keyRetries++
+		g.nextRetry = r.slot + g.backoff
+		g.backoff *= 2
+		r.stats.KeyRequestsSent++
+		return []*core.Packet{core.NewKeyRequest(r.expected)}, nil
+	}
+	// Both request ladders exhausted (the control channel itself is
+	// too lossy): degrade gracefully to the scheduled key frame.
+	g.passive = true
+	return nil, r.abandonBehindBuffer()
+}
+
+// abandonBehindBuffer abandons the missing windows in front of the
+// earliest buffered packet, letting the stream limp forward on whatever
+// arrived (deltas fail desynchronized; a key frame resyncs).
+func (r *Receiver) abandonBehindBuffer() []Decoded {
+	if min, ok := r.minBuffered(); ok {
+		return r.abandonTo(min)
+	}
+	return nil
+}
+
+// missingCount sizes a NACK: the contiguous missing run at expected,
+// bounded by the first buffered successor or the newest sequence seen.
+func (r *Receiver) missingCount() int {
+	end := r.maxSeen + 1
+	if min, ok := r.minBuffered(); ok && min < end {
+		end = min
+	}
+	if end <= r.expected {
+		return 1
+	}
+	return int(end - r.expected)
+}
+
+// Close finalizes the session: missing trailing windows are abandoned
+// and the last gap episode's latency is recorded.
+func (r *Receiver) Close() []Decoded {
+	var out []Decoded
+	// Each abandonBehindBuffer consumes at least the earliest buffered
+	// packet, so this terminates even across multiple holes.
+	for len(r.buf) > 0 {
+		out = append(out, r.abandonBehindBuffer()...)
+	}
+	if int(r.expected) < r.slot {
+		n := r.slot - int(r.expected)
+		r.stats.Abandoned += n
+		r.bumpOutage(n)
+		r.expected = uint32(r.slot)
+	}
+	r.closeGapIfCaughtUp()
+	return out
+}

@@ -1,0 +1,354 @@
+package coordinator
+
+import (
+	"testing"
+
+	"csecg/internal/core"
+)
+
+// transportRig builds a small encoder/receiver pair with cheap decodes.
+func transportRig(t *testing.T, keyInterval int, cfg TransportConfig) (*core.Encoder, *Receiver) {
+	t.Helper()
+	params := core.Params{Seed: 0x31, M: 64, N: 128, WaveletLevels: 3, KeyFrameInterval: keyInterval}
+	enc, err := core.NewEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewRealTimeDecoder(params, VFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun, err := dec.SolverTuning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun.SolverOptions.MaxIter = 1
+	return enc, NewReceiver(dec, cfg)
+}
+
+// encodeN produces n packets of a flat test window.
+func encodeN(t *testing.T, enc *core.Encoder, n int) []*core.Packet {
+	t.Helper()
+	win := make([]int16, 128)
+	for i := range win {
+		win[i] = int16(1024 + i%5)
+	}
+	var pkts []*core.Packet
+	for i := 0; i < n; i++ {
+		p, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	return pkts
+}
+
+// push feeds a packet and fails the test on a transport error.
+func push(t *testing.T, r *Receiver, p *core.Packet) []Decoded {
+	t.Helper()
+	out, err := r.Push(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestReceiverInOrderStream(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{})
+	pkts := encodeN(t, enc, 8)
+	decoded := 0
+	for _, p := range pkts {
+		decoded += len(push(t, rx, p))
+		ctrl, late := rx.EndSlot()
+		if len(ctrl) != 0 || len(late) != 0 {
+			t.Fatal("clean stream produced control traffic or abandonment")
+		}
+	}
+	decoded += len(rx.Close())
+	st := rx.Stats()
+	if decoded != 8 || st.Decoded != 8 || st.Gaps != 0 || st.Abandoned != 0 {
+		t.Errorf("clean stream stats: %+v", st)
+	}
+}
+
+func TestReceiverSuppressesDuplicatesAndReorders(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{})
+	pkts := encodeN(t, enc, 4)
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	// Adjacent swap: 2 before 1, plus a duplicate of each.
+	if got := push(t, rx, pkts[2]); len(got) != 0 {
+		t.Fatal("future packet released early")
+	}
+	push(t, rx, pkts[2]) // duplicate of buffered
+	got := push(t, rx, pkts[1])
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("swap released %v, want seqs 1,2", got)
+	}
+	rx.EndSlot()
+	rx.EndSlot()
+	push(t, rx, pkts[1]) // duplicate of decoded
+	push(t, rx, pkts[3])
+	rx.EndSlot()
+	rx.Close()
+	st := rx.Stats()
+	if st.Duplicates != 2 {
+		t.Errorf("Duplicates = %d, want 2", st.Duplicates)
+	}
+	// The swap resolved within one window slot, so no stall episode was
+	// ever observed at a slot boundary.
+	if st.Decoded != 4 || st.Abandoned != 0 || st.Gaps != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Buffered != 1 {
+		t.Errorf("Buffered = %d, want 1", st.Buffered)
+	}
+}
+
+// TestReceiverNackRetransmitRecovers walks the happy resync path: a gap
+// triggers a NACK, the "mote" answers from its ring, and the stream
+// catches up with no abandoned windows.
+func TestReceiverNackRetransmitRecovers(t *testing.T) {
+	enc, rx := transportRig(t, 64, TransportConfig{NACK: true})
+	pkts := encodeN(t, enc, 6)
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	// seq 1 lost on the downlink.
+	ctrl, _ := rx.EndSlot()
+	if len(ctrl) != 1 || ctrl[0].Kind != core.KindNack {
+		t.Fatalf("gap did not NACK: %v", ctrl)
+	}
+	first, count, err := core.NackRange(ctrl[0])
+	if err != nil || first != 1 || count < 1 {
+		t.Fatalf("NACK range (%d, %d, %v), want first=1", first, count, err)
+	}
+	// seq 2 arrives while the retransmit is in flight.
+	push(t, rx, pkts[2])
+	// Retransmit of seq 1 arrives: both release in order.
+	got := push(t, rx, pkts[1])
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("retransmit released %v", got)
+	}
+	ctrl, late := rx.EndSlot()
+	if len(ctrl) != 0 || len(late) != 0 {
+		t.Fatal("recovered stream still emitting control traffic")
+	}
+	for _, p := range pkts[3:] {
+		if len(push(t, rx, p)) != 1 {
+			t.Fatal("post-recovery packet not released")
+		}
+		rx.EndSlot()
+	}
+	rx.Close()
+	st := rx.Stats()
+	if st.Decoded != 6 || st.Abandoned != 0 || st.DecodeFailures != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Gaps != 1 || st.NacksSent != 1 || st.KeyRequestsSent != 0 {
+		t.Errorf("control stats: %+v", st)
+	}
+	if len(st.RecoveryWindows) != 1 || st.RecoveryWindows[0] > 2 {
+		t.Errorf("recovery latency %v, want one short gap", st.RecoveryWindows)
+	}
+}
+
+// TestReceiverBackoffExhaustionFallsBackToKeyFrame scripts a dead
+// control channel: NACK retries back off 1, 2, 4 windows and exhaust,
+// key requests exhaust, and the scheduled key frame finally recovers
+// the stream.
+func TestReceiverBackoffExhaustionFallsBackToKeyFrame(t *testing.T) {
+	enc, rx := transportRig(t, 8, TransportConfig{NACK: true, MaxRetries: 2, BackoffWindows: 1})
+	pkts := encodeN(t, enc, 11)
+	push(t, rx, pkts[0])
+	rx.EndSlot() // slot 1
+	var nacks, keyReqs int
+	retrySlots := map[int][]int{}
+	// Windows 1..7 all lost; every NACK and key request is lost too.
+	for slot := 2; slot <= 7; slot++ {
+		ctrl, late := rx.EndSlot()
+		if len(late) != 0 {
+			t.Fatalf("slot %d: abandoned %v before the scheduled key", slot, late)
+		}
+		for _, c := range ctrl {
+			switch c.Kind {
+			case core.KindNack:
+				nacks++
+				retrySlots[1] = append(retrySlots[1], slot)
+			case core.KindKeyRequest:
+				keyReqs++
+				retrySlots[2] = append(retrySlots[2], slot)
+			}
+		}
+	}
+	// Exponential spacing: NACKs at slots 2 and 3 (backoff 1, 2), a key
+	// request at slot 5 (backoff 4); the next attempt would land at slot
+	// 9, beyond the scheduled key frame.
+	if nacks != 2 || keyReqs != 1 {
+		t.Fatalf("nacks=%d keyReqs=%d, want 2 and 1", nacks, keyReqs)
+	}
+	if got := retrySlots[1]; got[0] != 2 || got[1] != 3 {
+		t.Errorf("NACK slots %v, want [2 3]", got)
+	}
+	if got := retrySlots[2]; got[0] != 5 {
+		t.Errorf("key-request slots %v, want first at 5", got)
+	}
+	// Scheduled key frame (seq 8) arrives and must recover the stream.
+	got := push(t, rx, pkts[8])
+	ctrl, late := rx.EndSlot()
+	released := append(got, late...)
+	if len(released) != 1 || released[0].Seq != 8 {
+		t.Fatalf("key frame released %v, want seq 8", released)
+	}
+	if len(ctrl) != 0 {
+		t.Errorf("control traffic after recovery: %v", ctrl)
+	}
+	for _, p := range pkts[9:] {
+		if len(push(t, rx, p)) != 1 {
+			t.Fatal("post-recovery delta not released")
+		}
+		rx.EndSlot()
+	}
+	rx.Close()
+	st := rx.Stats()
+	if st.Abandoned != 7 {
+		t.Errorf("Abandoned = %d, want 7 (seqs 1-7)", st.Abandoned)
+	}
+	if st.Decoded != 4 {
+		t.Errorf("Decoded = %d, want 4 (seqs 0, 8, 9, 10)", st.Decoded)
+	}
+	if st.Gaps != 1 || st.LongestOutage != 7 {
+		t.Errorf("gap stats: %+v", st)
+	}
+	if st.Resyncs != 1 {
+		t.Errorf("Resyncs = %d, want 1", st.Resyncs)
+	}
+	if len(st.RecoveryWindows) != 1 {
+		t.Errorf("recovery distribution %v, want one episode", st.RecoveryWindows)
+	}
+}
+
+// TestReceiverNoNackAbandonsAfterWait reproduces the baseline decoder
+// behavior: without a control channel, a gap is held WaitWindows slots
+// and then the stream limps to the next scheduled key frame.
+func TestReceiverNoNackAbandonsAfterWait(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{})
+	pkts := encodeN(t, enc, 9)
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	push(t, rx, pkts[1])
+	rx.EndSlot()
+	// seq 2 lost; deltas 3 and key 4 keep arriving.
+	ctrl, _ := rx.EndSlot()
+	if len(ctrl) != 0 {
+		t.Fatal("NACK-less receiver emitted control traffic")
+	}
+	push(t, rx, pkts[3])
+	_, late := rx.EndSlot() // wait expired: abandon seq 2, feed delta 3
+	for _, d := range late {
+		t.Errorf("desynced delta released: seq %d", d.Seq)
+	}
+	got := push(t, rx, pkts[4]) // scheduled key frame resyncs
+	if len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("key frame released %v, want seq 4", got)
+	}
+	rx.EndSlot()
+	for _, p := range pkts[5:] {
+		if len(push(t, rx, p)) != 1 {
+			t.Fatal("post-recovery delta not released")
+		}
+		rx.EndSlot()
+	}
+	rx.Close()
+	st := rx.Stats()
+	if st.Abandoned != 1 || st.DecodeFailures != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Decoded != 7 {
+		t.Errorf("Decoded = %d, want 7", st.Decoded)
+	}
+	if st.Resyncs != 1 || st.Gaps != 1 {
+		t.Errorf("resync stats: %+v", st)
+	}
+}
+
+// TestReceiverKeyJumpDropsOvertakenDeltas wedges a delta behind the key
+// frame the receiver jumps to: the overtaken packet must be discarded
+// (it is already counted abandoned), not parked in the buffer forever.
+func TestReceiverKeyJumpDropsOvertakenDeltas(t *testing.T) {
+	enc, rx := transportRig(t, 8, TransportConfig{NACK: true, MaxRetries: 1, BackoffWindows: 1})
+	pkts := encodeN(t, enc, 9)
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	// seq 1 lost; the NACK ladder exhausts after one try.
+	ctrl, _ := rx.EndSlot()
+	if len(ctrl) != 1 || ctrl[0].Kind != core.KindNack {
+		t.Fatalf("expected one NACK, got %v", ctrl)
+	}
+	push(t, rx, pkts[2]) // delta parked behind the gap
+	push(t, rx, pkts[8]) // scheduled key frame, buffered ahead
+	_, late := rx.EndSlot()
+	if len(late) != 1 || late[0].Seq != 8 {
+		t.Fatalf("key jump released %v, want seq 8", late)
+	}
+	rx.Close() // must terminate with the overtaken delta discarded
+	st := rx.Stats()
+	if st.Abandoned != 7 || st.Decoded != 2 {
+		t.Errorf("stats after key jump: %+v", st)
+	}
+	if st.Gaps != 1 || len(st.RecoveryWindows) != 1 {
+		t.Errorf("gap accounting: %+v", st)
+	}
+}
+
+func TestReceiverRejectsControlOnDownlink(t *testing.T) {
+	_, rx := transportRig(t, 4, TransportConfig{})
+	if _, err := rx.Push(core.NewNack(0, 1)); err == nil {
+		t.Error("downlink NACK accepted")
+	}
+	if _, err := rx.Push(core.NewKeyRequest(0)); err == nil {
+		t.Error("downlink key request accepted")
+	}
+}
+
+func TestReceiverBufferOverflow(t *testing.T) {
+	// A long WaitWindows keeps the gap open so the buffer, not the
+	// abandon path, absorbs the out-of-order arrivals.
+	enc, rx := transportRig(t, 64, TransportConfig{ReorderWindow: 2, WaitWindows: 100})
+	pkts := encodeN(t, enc, 8)
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	// seq 1 lost; 2, 3 fill the 2-slot buffer; 4, 5 overflow.
+	for _, p := range pkts[2:6] {
+		push(t, rx, p)
+		rx.EndSlot()
+	}
+	st := rx.Stats()
+	if st.Buffered != 2 || st.Overflows != 2 {
+		t.Errorf("overflow stats: %+v", st)
+	}
+}
+
+func TestReceiverTailLossIsAccounted(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{})
+	pkts := encodeN(t, enc, 6)
+	for _, p := range pkts[:3] {
+		push(t, rx, p)
+		rx.EndSlot()
+	}
+	// Windows 3..5 encoded but all lost; the session then ends.
+	rx.EndSlot()
+	rx.EndSlot()
+	rx.EndSlot()
+	rx.Close()
+	st := rx.Stats()
+	if st.Abandoned != 3 {
+		t.Errorf("Abandoned = %d, want 3 tail windows", st.Abandoned)
+	}
+	if st.Gaps != 1 || len(st.RecoveryWindows) != 1 {
+		t.Errorf("tail gap not recorded: %+v", st)
+	}
+	if st.LongestOutage != 3 {
+		t.Errorf("LongestOutage = %d, want 3", st.LongestOutage)
+	}
+}

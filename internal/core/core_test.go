@@ -563,3 +563,89 @@ func TestMeasurementLockstepProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestControlPacketHelpers(t *testing.T) {
+	n := NewNack(42, 3)
+	first, count, err := NackRange(n)
+	if err != nil || first != 42 || count != 3 {
+		t.Errorf("NackRange = (%d, %d, %v), want (42, 3, nil)", first, count, err)
+	}
+	if got := NewNack(1, 100); got.Payload[0] != MaxNackRange {
+		t.Errorf("NACK count not saturated: %d", got.Payload[0])
+	}
+	if got := NewNack(1, 0); got.Payload[0] != 1 {
+		t.Errorf("NACK count not floored: %d", got.Payload[0])
+	}
+	if _, _, err := NackRange(NewKeyRequest(5)); err == nil {
+		t.Error("NackRange accepted a key request")
+	}
+	if _, _, err := NackRange(&Packet{Kind: KindNack}); err == nil {
+		t.Error("NackRange accepted an empty payload")
+	}
+	if !KindNack.IsControl() || !KindKeyRequest.IsControl() || KindKey.IsControl() || KindDelta.IsControl() {
+		t.Error("IsControl misclassifies a kind")
+	}
+}
+
+func TestControlPacketsRoundTripTheWire(t *testing.T) {
+	for _, pkt := range []*Packet{NewNack(7, 2), NewKeyRequest(9)} {
+		blob, err := pkt.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, n, err := UnmarshalPacket(blob)
+		if err != nil {
+			t.Fatalf("control packet rejected by the parser: %v", err)
+		}
+		if n != len(blob) || rx.Kind != pkt.Kind || rx.Seq != pkt.Seq {
+			t.Errorf("round trip mangled %+v into %+v", pkt, rx)
+		}
+	}
+}
+
+func TestDecoderRejectsControlKinds(t *testing.T) {
+	params := Params{Seed: 5, M: 64, N: 128, WaveletLevels: 3}
+	dec, err := NewDecoder[float64](params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodePacket(NewNack(0, 1)); err == nil {
+		t.Error("decoder accepted a NACK")
+	}
+	if _, err := dec.DecodePacket(NewKeyRequest(0)); err == nil {
+		t.Error("decoder accepted a key request")
+	}
+}
+
+func TestForceKeyFrame(t *testing.T) {
+	params := Params{Seed: 5, KeyFrameInterval: 64}
+	enc, err := NewEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := testWindows(t, 8)
+	if len(windows) < 4 {
+		t.Fatalf("need 4 windows, got %d", len(windows))
+	}
+	pkt, err := enc.EncodeWindow(windows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Kind != KindKey {
+		t.Fatal("first packet not a key frame")
+	}
+	if pkt, err = enc.EncodeWindow(windows[1]); err != nil || pkt.Kind != KindDelta {
+		t.Fatalf("second packet %v (%v), want delta", pkt.Kind, err)
+	}
+	enc.ForceKeyFrame()
+	if pkt, err = enc.EncodeWindow(windows[2]); err != nil || pkt.Kind != KindKey {
+		t.Fatalf("forced packet %v (%v), want key", pkt.Kind, err)
+	}
+	if pkt.Seq != 2 {
+		t.Errorf("forced key frame renumbered the stream: seq %d", pkt.Seq)
+	}
+	// The force is one-shot.
+	if pkt, err = enc.EncodeWindow(windows[3]); err != nil || pkt.Kind != KindDelta {
+		t.Fatalf("post-force packet %v (%v), want delta", pkt.Kind, err)
+	}
+}

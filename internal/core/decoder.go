@@ -118,6 +118,8 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 			d.synced = false
 			return nil, err
 		}
+	case KindNack, KindKeyRequest:
+		return nil, fmt.Errorf("core: control packet kind %d on the data path", pkt.Kind)
 	default:
 		return nil, fmt.Errorf("core: unknown packet kind %d", pkt.Kind)
 	}

@@ -19,6 +19,9 @@ type Encoder struct {
 	phi   *sensing.SparseBinary
 	prevY []int32
 	seq   uint32
+	// forceKey promotes the next packet to a key frame (the NACK
+	// protocol's on-demand resync), independent of the schedule.
+	forceKey bool
 	// streamIdx tracks PushSample progress within the current window.
 	streamIdx int
 	// scratch buffers reused across windows (the mote has 10 kB of RAM).
@@ -51,11 +54,17 @@ func NewEncoder(p Params) (*Encoder, error) {
 // Params returns the resolved parameters.
 func (e *Encoder) Params() Params { return e.p }
 
+// ForceKeyFrame promotes the next encoded window to a key frame
+// regardless of the schedule — the response to a KindKeyRequest control
+// packet. The scheduled key-frame cadence is unaffected.
+func (e *Encoder) ForceKeyFrame() { e.forceKey = true }
+
 // Reset returns the encoder to the start-of-stream state (next packet is
 // a key frame, sequence restarts, any partially streamed window is
 // discarded).
 func (e *Encoder) Reset() {
 	e.seq = 0
+	e.forceKey = false
 	e.streamIdx = 0
 	for i := range e.prevY {
 		e.prevY[i] = 0
@@ -115,7 +124,8 @@ func (e *Encoder) finishWindow() (*Packet, error) {
 			}
 		}
 	}
-	isKey := e.p.KeyFrameInterval <= 1 || e.seq%uint32(e.p.KeyFrameInterval) == 0
+	isKey := e.forceKey || e.p.KeyFrameInterval <= 1 || e.seq%uint32(e.p.KeyFrameInterval) == 0
+	e.forceKey = false
 	var pkt *Packet
 	if isKey {
 		pkt = e.encodeKey()

@@ -5,16 +5,66 @@ import (
 	"fmt"
 )
 
-// PacketKind distinguishes key frames (measurements coded raw, stream
-// resynchronization points) from delta frames (Huffman-coded differences
-// against the previous window's measurements).
+// PacketKind distinguishes the downlink data frames — key frames
+// (measurements coded raw, stream resynchronization points) and delta
+// frames (Huffman-coded differences against the previous window's
+// measurements) — from the uplink control frames of the NACK resync
+// protocol.
 type PacketKind uint8
 
 // Packet kinds.
 const (
 	KindKey PacketKind = iota + 1
 	KindDelta
+	// KindNack travels coordinator→mote: the receiver detected a
+	// sequence gap and requests selective retransmission of a short
+	// range from the mote's bounded retransmit buffer. Seq carries the
+	// first missing sequence number; the one-byte payload the count.
+	KindNack
+	// KindKeyRequest travels coordinator→mote: the receiver has given
+	// up on retransmission (buffer aged out, or too many NACKs lost)
+	// and asks for an on-demand key frame to resynchronize. Seq carries
+	// the receiver's next expected sequence number.
+	KindKeyRequest
 )
+
+// IsControl reports whether the kind travels on the coordinator→mote
+// control channel rather than the data downlink.
+func (k PacketKind) IsControl() bool { return k == KindNack || k == KindKeyRequest }
+
+// MaxNackRange bounds a single NACK's retransmission request; it is the
+// largest ring any mote build can afford within the MSP430 RAM budget.
+const MaxNackRange = 8
+
+// NewNack builds a control packet requesting retransmission of count
+// packets starting at firstSeq. The count saturates at MaxNackRange.
+func NewNack(firstSeq uint32, count int) *Packet {
+	if count < 1 {
+		count = 1
+	}
+	if count > MaxNackRange {
+		count = MaxNackRange
+	}
+	return &Packet{Seq: firstSeq, Kind: KindNack, Payload: []byte{byte(count)}}
+}
+
+// NackRange extracts the requested retransmission range from a KindNack
+// packet.
+func NackRange(p *Packet) (firstSeq uint32, count int, err error) {
+	if p.Kind != KindNack {
+		return 0, 0, fmt.Errorf("core: NackRange on %d packet", p.Kind)
+	}
+	if len(p.Payload) != 1 || p.Payload[0] < 1 || int(p.Payload[0]) > MaxNackRange {
+		return 0, 0, fmt.Errorf("core: malformed NACK payload %v", p.Payload)
+	}
+	return p.Seq, int(p.Payload[0]), nil
+}
+
+// NewKeyRequest builds a control packet asking for an on-demand key
+// frame; nextSeq is the receiver's next expected sequence number.
+func NewKeyRequest(nextSeq uint32) *Packet {
+	return &Packet{Seq: nextSeq, Kind: KindKeyRequest}
+}
 
 // Packet is one encoded 2-second window as it travels over the wireless
 // link.
@@ -75,7 +125,9 @@ func UnmarshalPacket(data []byte) (*Packet, int, error) {
 		return nil, 0, fmt.Errorf("core: bad packet magic %#x", data[0])
 	}
 	kind := PacketKind(data[1])
-	if kind != KindKey && kind != KindDelta {
+	switch kind {
+	case KindKey, KindDelta, KindNack, KindKeyRequest:
+	default:
 		return nil, 0, fmt.Errorf("core: unknown packet kind %d", kind)
 	}
 	payloadLen := int(binary.LittleEndian.Uint16(data[8:]))

@@ -352,6 +352,42 @@ func TestResilienceShape(t *testing.T) {
 	}
 }
 
+func TestTransportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Transport(Options{Records: []string{"100"}, SecondsPerRecord: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		base, nack := res.Rows[i], res.Rows[i+1]
+		if base.Mode != "wait-for-key" || nack.Mode != "nack" {
+			t.Fatalf("row pair %d modes (%s, %s)", i, base.Mode, nack.Mode)
+		}
+		if nack.Coverage <= base.Coverage {
+			t.Errorf("loss %.1f%%: NACK coverage %.2f not above baseline %.2f",
+				base.MeanLossPct, nack.Coverage, base.Coverage)
+		}
+		if nack.Retransmits == 0 {
+			t.Errorf("loss %.1f%%: no retransmits served", base.MeanLossPct)
+		}
+		if base.Retransmits != 0 {
+			t.Errorf("baseline served %d retransmits without a control channel", base.Retransmits)
+		}
+		if nack.AirtimeMs <= base.AirtimeMs {
+			t.Errorf("loss %.1f%%: retransmission airtime not accounted", base.MeanLossPct)
+		}
+	}
+	table := res.Table()
+	if len(table.Rows) != 6 || len(table.Header) != len(table.Rows[0]) {
+		t.Errorf("table shape: %d rows, %d header cols", len(table.Rows), len(table.Header))
+	}
+}
+
 func TestHolterReportShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")

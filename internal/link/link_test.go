@@ -116,6 +116,168 @@ func TestCorruptionIsDetectedByPacketChecksum(t *testing.T) {
 	}
 }
 
+// TestGilbertElliottStationaryLoss checks the burst channel's long-run
+// loss rate against the analytic π_bad = p/(p+r) at fixed seeds.
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	cases := []struct {
+		p, r float64
+		seed uint64
+	}{
+		{0.05, 0.50, 11},
+		{0.10, 0.30, 12},
+		{0.02, 0.20, 13},
+		{0.50, 0.50, 14},
+		{0.01, 0.04, 15},
+	}
+	frame := make([]byte, 50)
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.Burst = &BurstConfig{PGoodBad: tc.p, PBadGood: tc.r}
+		cfg.Seed = tc.seed
+		l, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50_000
+		for i := 0; i < n; i++ {
+			l.TransmitMulti(frame)
+		}
+		st := l.Stats()
+		got := float64(st.Dropped) / n
+		want := cfg.Burst.StationaryLoss()
+		if wantAnalytic := tc.p / (tc.p + tc.r); math.Abs(want-wantAnalytic) > 1e-12 {
+			t.Errorf("p=%v r=%v: StationaryLoss=%v, want %v", tc.p, tc.r, want, wantAnalytic)
+		}
+		tol := 0.15 * want // 15% relative at 50k frames
+		if tol < 0.004 {
+			tol = 0.004
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("p=%v r=%v: observed loss %v, want ≈%v", tc.p, tc.r, got, want)
+		}
+		if st.BadSlots == 0 {
+			t.Errorf("p=%v r=%v: bad-state occupancy never counted", tc.p, tc.r)
+		}
+	}
+}
+
+// TestGilbertElliottBurstiness checks that losses cluster: the mean loss
+// burst length approaches 1/r, far above the i.i.d. value at the same
+// stationary rate.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Burst = &BurstConfig{PGoodBad: 0.02, PBadGood: 0.25}
+	cfg.Seed = 77
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 50)
+	var bursts, lostTotal, run int
+	const n = 60_000
+	for i := 0; i < n; i++ {
+		rx, _ := l.TransmitMulti(frame)
+		if len(rx) == 0 {
+			if run == 0 {
+				bursts++
+			}
+			run++
+			lostTotal++
+		} else {
+			run = 0
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no loss bursts observed")
+	}
+	mean := float64(lostTotal) / float64(bursts)
+	want := 1 / 0.25
+	if math.Abs(mean-want) > 0.2*want {
+		t.Errorf("mean burst length %.2f, want ≈%.1f", mean, want)
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Burst = &BurstConfig{PGoodBad: 1.5}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range burst probability accepted")
+	}
+}
+
+// TestReorderSwapsAdjacent drives the reorder model at probability 1:
+// frames must arrive as adjacent swaps with nothing lost.
+func TestReorderSwapsAdjacent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReorderProb = 1
+	cfg.Seed = 5
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := byte(0); i < 8; i++ {
+		frames, _ := l.TransmitMulti([]byte{i})
+		for _, f := range frames {
+			got = append(got, f[0])
+		}
+	}
+	for _, f := range l.Flush() {
+		got = append(got, f[0])
+	}
+	want := []byte{1, 0, 3, 2, 5, 4, 7, 6}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+	if st := l.Stats(); st.Reordered != 4 {
+		t.Errorf("Reordered = %d, want 4", st.Reordered)
+	}
+}
+
+// TestDuplicationDeliversTwice drives DupProb=1.
+func TestDuplicationDeliversTwice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DupProb = 1
+	cfg.Seed = 5
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := l.TransmitMulti([]byte{42})
+	if len(frames) != 2 || frames[0][0] != 42 || frames[1][0] != 42 {
+		t.Fatalf("dup delivery = %v frames", len(frames))
+	}
+	if st := l.Stats(); st.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+// TestJitterAccounting checks the jitter counters move and stay bounded.
+func TestJitterAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterMax = 40 * time.Millisecond
+	cfg.Seed = 8
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		l.TransmitMulti([]byte{1, 2, 3})
+	}
+	st := l.Stats()
+	if st.JitterTotal <= 0 {
+		t.Error("jitter never accumulated")
+	}
+	if st.JitterMax <= 0 || st.JitterMax >= cfg.JitterMax {
+		t.Errorf("max jitter %v outside (0, %v)", st.JitterMax, cfg.JitterMax)
+	}
+}
+
 func TestTransmitPacketRoundTrip(t *testing.T) {
 	l, _ := New(DefaultConfig())
 	pkt := &core.Packet{Seq: 9, Kind: core.KindDelta, NumSymbols: 256, Payload: []byte{1, 2, 3}}

@@ -64,11 +64,27 @@ func DefaultCosts() Costs {
 	}
 }
 
+// RetransmitSlotBytes is the RAM cost of one retransmit-ring slot: the
+// largest framed packet the default configuration produces (a key frame
+// of 2·M bytes plus framing), matching the existing PacketBuffer
+// sizing.
+const RetransmitSlotBytes = 640
+
+// DefaultRetransmitRing is the ring size the transport layer requests
+// when NACK resync is enabled: 4 slots ≈ 2.5 kB, which keeps the total
+// footprint inside the MSP430F1611's 10 kB RAM (see MemoryFootprint).
+const DefaultRetransmitRing = 4
+
 // Model is an instrumented encoder: it runs the real core.Encoder and
 // reports modeled MSP430 cycle counts alongside each packet.
 type Model struct {
 	enc   *core.Encoder
 	costs Costs
+
+	// ring holds the last len(ring) encoded packets for selective
+	// retransmission (nil when the NACK protocol is disabled).
+	ring        []*core.Packet
+	retransmits int64
 
 	totalCycles  int64
 	totalWindows int64
@@ -88,6 +104,54 @@ func (m *Model) SetCosts(c Costs) { m.costs = c }
 
 // Params returns the resolved pipeline parameters.
 func (m *Model) Params() core.Params { return m.enc.Params() }
+
+// EnableRetransmitBuffer allocates a k-slot retransmit ring holding the
+// last k encoded packets for the NACK protocol. It fails if the
+// resulting footprint would not fit the MSP430's RAM, or for a k
+// outside [1, core.MaxNackRange]. k = 0 disables the ring.
+func (m *Model) EnableRetransmitBuffer(k int) error {
+	if k == 0 {
+		m.ring = nil
+		return nil
+	}
+	if k < 0 || k > core.MaxNackRange {
+		return fmt.Errorf("mote: retransmit ring %d out of [0, %d]", k, core.MaxNackRange)
+	}
+	old := m.ring
+	m.ring = make([]*core.Packet, k)
+	if err := m.CheckFits(); err != nil {
+		m.ring = old
+		return fmt.Errorf("mote: retransmit ring %d slots: %w", k, err)
+	}
+	return nil
+}
+
+// RetransmitRing returns the configured ring size in packets.
+func (m *Model) RetransmitRing() int { return len(m.ring) }
+
+// Retransmit fetches the packet with the given sequence number from the
+// ring, charging the re-framing cycles the UART feed costs. It returns
+// false when the packet has aged out of the ring (the coordinator must
+// fall back to a key-frame request).
+func (m *Model) Retransmit(seq uint32) (*core.Packet, bool) {
+	if len(m.ring) == 0 {
+		return nil, false
+	}
+	p := m.ring[int(seq)%len(m.ring)]
+	if p == nil || p.Seq != seq {
+		return nil, false
+	}
+	m.retransmits++
+	m.totalCycles += int64(p.WireSize()) * m.costs.PacketPerByte
+	return p, true
+}
+
+// Retransmits counts the ring hits served so far.
+func (m *Model) Retransmits() int64 { return m.retransmits }
+
+// RequestKeyFrame promotes the next encoded window to a key frame — the
+// mote's response to a KindKeyRequest control packet.
+func (m *Model) RequestKeyFrame() { m.enc.ForceKeyFrame() }
 
 // Report describes the modeled execution of one window.
 type Report struct {
@@ -125,6 +189,9 @@ func (m *Model) EncodeWindow(window []int16) (*Report, error) {
 	}
 	r.FramingCycles = int64(pkt.WireSize()) * c.PacketPerByte
 	r.TotalCycles = r.MeasureCycles + r.ShiftCycles + r.DiffCycles + r.EntropyCycles + r.FramingCycles
+	if len(m.ring) > 0 {
+		m.ring[int(pkt.Seq)%len(m.ring)] = pkt
+	}
 	r.EncodeTime = time.Duration(float64(r.TotalCycles) / ClockHz * float64(time.Second))
 	window2s := float64(p.N) / core.FsMote
 	r.CPUUsage = r.EncodeTime.Seconds() / window2s
@@ -157,8 +224,9 @@ func (m *Model) MeasurementLatency() time.Duration {
 
 // Memory describes the static footprint of the encoder build.
 type Memory struct {
-	// RAM components (bytes).
-	SampleBuffers, MeasurementState, SymbolScratch, PacketBuffer, BTStack, StackMisc int
+	// RAM components (bytes). RetransmitRing is zero unless the NACK
+	// protocol's ring buffer is enabled.
+	SampleBuffers, MeasurementState, SymbolScratch, PacketBuffer, RetransmitRing, BTStack, StackMisc int
 	// Flash components (bytes).
 	CodeFlash, CodebookFlash int
 }
@@ -166,7 +234,7 @@ type Memory struct {
 // RAMTotal sums the RAM components.
 func (mem Memory) RAMTotal() int {
 	return mem.SampleBuffers + mem.MeasurementState + mem.SymbolScratch +
-		mem.PacketBuffer + mem.BTStack + mem.StackMisc
+		mem.PacketBuffer + mem.RetransmitRing + mem.BTStack + mem.StackMisc
 }
 
 // FlashTotal sums the flash components.
@@ -188,6 +256,9 @@ func (m *Model) MemoryFootprint() Memory {
 		SymbolScratch: p.M * 2,
 		// One framed packet in flight to the Bluetooth module.
 		PacketBuffer: 640,
+		// Bounded retransmit ring of the NACK protocol (0 when
+		// disabled, the paper's baseline build).
+		RetransmitRing: len(m.ring) * RetransmitSlotBytes,
 		// Bluetooth stack working set (connection state, FIFO).
 		BTStack: 1536,
 		// Call stack and globals of the remaining firmware.

@@ -152,3 +152,98 @@ func BenchmarkInstrumentedEncode(b *testing.B) {
 		}
 	}
 }
+
+func TestRetransmitRing(t *testing.T) {
+	m, err := New(core.Params{Seed: 9, KeyFrameInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Retransmit(0); ok {
+		t.Error("disabled ring served a packet")
+	}
+	if err := m.EnableRetransmitBuffer(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.RetransmitRing() != 4 {
+		t.Errorf("ring size %d, want 4", m.RetransmitRing())
+	}
+	mem := m.MemoryFootprint()
+	if mem.RetransmitRing != 4*RetransmitSlotBytes {
+		t.Errorf("ring RAM %d, want %d", mem.RetransmitRing, 4*RetransmitSlotBytes)
+	}
+	if err := m.CheckFits(); err != nil {
+		t.Errorf("4-slot ring should fit the RAM budget: %v", err)
+	}
+
+	win := make([]int16, m.Params().N)
+	for i := range win {
+		win[i] = 1024
+	}
+	var pkts []*core.Packet
+	for i := 0; i < 6; i++ {
+		r, err := m.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, r.Packet)
+	}
+	// The last 4 packets are retransmittable, older ones aged out.
+	for seq := uint32(2); seq < 6; seq++ {
+		p, ok := m.Retransmit(seq)
+		if !ok {
+			t.Fatalf("seq %d missing from a 4-slot ring after 6 windows", seq)
+		}
+		if p.Seq != seq || p.Kind != pkts[seq].Kind {
+			t.Errorf("ring returned seq %d kind %v for request %d", p.Seq, p.Kind, seq)
+		}
+	}
+	for _, seq := range []uint32{0, 1, 6, 99} {
+		if _, ok := m.Retransmit(seq); ok {
+			t.Errorf("ring served aged-out/unsent seq %d", seq)
+		}
+	}
+	if m.Retransmits() != 4 {
+		t.Errorf("retransmit counter %d, want 4", m.Retransmits())
+	}
+}
+
+func TestRetransmitRingRAMBudget(t *testing.T) {
+	m, err := New(core.Params{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 slots would cost 5 kB on top of the 6.5 kB baseline: over budget.
+	if err := m.EnableRetransmitBuffer(core.MaxNackRange); err == nil {
+		t.Error("over-budget ring accepted")
+	}
+	if m.RetransmitRing() != 0 {
+		t.Error("failed enable left the ring allocated")
+	}
+	if err := m.EnableRetransmitBuffer(-1); err == nil {
+		t.Error("negative ring accepted")
+	}
+	if err := m.EnableRetransmitBuffer(DefaultRetransmitRing); err != nil {
+		t.Errorf("default ring rejected: %v", err)
+	}
+	if err := m.EnableRetransmitBuffer(0); err != nil || m.RetransmitRing() != 0 {
+		t.Error("ring not disabled by k=0")
+	}
+}
+
+func TestRequestKeyFrame(t *testing.T) {
+	m, err := New(core.Params{Seed: 9, KeyFrameInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := make([]int16, m.Params().N)
+	if r, _ := m.EncodeWindow(win); r.Packet.Kind != core.KindKey {
+		t.Fatal("first packet not key")
+	}
+	if r, _ := m.EncodeWindow(win); r.Packet.Kind != core.KindDelta {
+		t.Fatal("second packet not delta")
+	}
+	m.RequestKeyFrame()
+	if r, _ := m.EncodeWindow(win); r.Packet.Kind != core.KindKey {
+		t.Error("key request not honored")
+	}
+}

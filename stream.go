@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"csecg/internal/coordinator"
+	"csecg/internal/core"
 	"csecg/internal/energy"
 	"csecg/internal/link"
 	"csecg/internal/metrics"
@@ -25,14 +26,32 @@ type StreamConfig struct {
 	Params Params
 	// Mode selects the coordinator build (default ModeNEON).
 	Mode coordinator.Mode
-	// Link configures the transport (zero value → DefaultLinkConfig).
+	// Link configures the data downlink (zero value → DefaultLinkConfig).
 	Link LinkConfig
+	// Transport configures the coordinator's fault-tolerant receive
+	// path. The zero value reproduces the paper's baseline: losses are
+	// ridden out until the next scheduled key frame. Setting
+	// Transport.NACK enables the control channel and the mote's bounded
+	// retransmit ring.
+	Transport TransportConfig
+	// ControlLink configures the uplink carrying NACK/key-request
+	// control packets (nil → the data-link config with a derived fault
+	// seed, so control traffic sees the same channel quality).
+	ControlLink *LinkConfig
+	// RetransmitRing overrides the mote's retransmit ring size when the
+	// NACK protocol is enabled (0 → mote.DefaultRetransmitRing; must
+	// fit the MSP430's 10 kB RAM).
+	RetransmitRing int
 }
 
 // StreamReport aggregates a session.
 type StreamReport struct {
-	// Windows processed and packets lost on the link.
-	Windows, Lost int
+	// Windows encoded by the mote; Lost counts frames the downlink
+	// destroyed (dropped plus checksum-rejected corruption), including
+	// lost retransmission attempts; Decoded counts the windows actually
+	// reconstructed — under loss this is smaller than Windows−Lost
+	// whenever desynchronized deltas had to be discarded too.
+	Windows, Lost, Decoded int
 	// MeanPRDN and WorstPRDN summarize reconstruction quality over the
 	// successfully decoded windows (excluding the cold-start window).
 	MeanPRDN, WorstPRDN float64
@@ -45,8 +64,14 @@ type StreamReport struct {
 	MeanIterations float64
 	// MeanDecodeTime is the modeled on-device decode time per packet.
 	MeanDecodeTime time.Duration
-	// AirtimePerWindow is the radio-on time per 2-second window.
+	// AirtimePerWindow is the radio-on time per 2-second window,
+	// including retransmission airtime.
 	AirtimePerWindow time.Duration
+	// RetransmitAirtime is the share of downlink airtime spent on
+	// NACK-driven retransmissions; Retransmits counts the ring hits the
+	// mote served.
+	RetransmitAirtime time.Duration
+	Retransmits       int64
 	// LifetimeRaw and LifetimeCS are modeled node lifetimes streaming
 	// uncompressed versus CS-compressed; Extension is their ratio − 1.
 	LifetimeRaw, LifetimeCS time.Duration
@@ -54,6 +79,13 @@ type StreamReport struct {
 	Extension float64
 	// Display is the viewer simulation over the session's decode times.
 	Display *coordinator.DisplayReport
+	// Transport reports the receiver's gap/resync accounting: gap
+	// episodes, longest outage, recovery latency distribution, control
+	// traffic.
+	Transport TransportStats
+	// LinkStats and ControlStats snapshot the fault counters of the
+	// data downlink and the control uplink.
+	LinkStats, ControlStats link.Stats
 }
 
 // RunStream executes the full pipeline and returns the session report.
@@ -87,6 +119,27 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ctrl *link.Link
+	if cfg.Transport.NACK {
+		ring := cfg.RetransmitRing
+		if ring == 0 {
+			ring = mote.DefaultRetransmitRing
+		}
+		if err := m.EnableRetransmitBuffer(ring); err != nil {
+			return nil, err
+		}
+		ctrlCfg := cfg.Link
+		// Decorrelate the uplink's fault stream from the downlink's.
+		ctrlCfg.Seed = cfg.Link.Seed ^ 0x9E3779B97F4A7C15
+		if cfg.ControlLink != nil {
+			ctrlCfg = *cfg.ControlLink
+		}
+		if ctrl, err = link.New(ctrlCfg); err != nil {
+			return nil, err
+		}
+	}
+	rx := coordinator.NewReceiver(dec, cfg.Transport)
+
 	rep := &StreamReport{}
 	var rawBits, compBits int
 	var sumPRDN float64
@@ -98,37 +151,23 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	if n == 0 {
 		n = WindowSize
 	}
-	for o := 0; o+n <= len(samples); o += n {
-		win := samples[o : o+n]
-		mr, err := m.EncodeWindow(win)
-		if err != nil {
-			return nil, fmt.Errorf("csecg: encoding window %d: %w", rep.Windows, err)
-		}
-		rep.Windows++
-		rawBits += n * 12
-		compBits += mr.Packet.WireSize() * 8
-		rx, _, err := lnk.TransmitPacket(mr.Packet)
-		if err != nil {
-			return nil, err
-		}
-		if rx == nil {
-			rep.Lost++
-			continue
-		}
-		res, err := dec.Decode(rx)
-		if err != nil {
-			// Sequence gap after loss: wait for the next key frame.
-			continue
-		}
-		sumIters += int64(res.Iterations)
-		sumDecode += res.ModeledTime
-		decodeTimes = append(decodeTimes, res.ModeledTime.Seconds())
-		if rep.Windows > 1 { // skip cold start in the quality stats
+
+	// Windows indexed by sequence number, for scoring late releases.
+	var wins [][]int16
+	score := func(out []coordinator.Decoded) {
+		for _, d := range out {
+			sumIters += int64(d.Res.Iterations)
+			sumDecode += d.Res.ModeledTime
+			decodeTimes = append(decodeTimes, d.Res.ModeledTime.Seconds())
+			if d.Seq == 0 || int(d.Seq) >= len(wins) {
+				continue // cold start is excluded from the quality stats
+			}
+			win := wins[d.Seq]
 			orig := make([]float64, n)
 			reco := make([]float64, n)
 			for i := range win {
 				orig[i] = float64(win[i])
-				reco[i] = float64(res.Samples[i])
+				reco[i] = float64(d.Res.Samples[i])
 			}
 			prdn, err := metrics.PRDN(orig, reco)
 			if err == nil {
@@ -140,27 +179,115 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			}
 		}
 	}
+	// deliver pushes every frame the channel produced into the receiver.
+	deliver := func(pkts []*core.Packet) error {
+		for _, p := range pkts {
+			out, err := rx.Push(p)
+			if err != nil {
+				return err
+			}
+			score(out)
+		}
+		return nil
+	}
+	// serveControl carries one control packet over the uplink and, when
+	// it survives, has the mote act on it. Retransmitted frames cross
+	// the same lossy downlink as everything else.
+	serveControl := func(c *core.Packet) error {
+		up, _, err := ctrl.TransmitPacket(c)
+		if err != nil || up == nil {
+			return err
+		}
+		switch up.Kind {
+		case core.KindNack:
+			first, count, err := core.NackRange(up)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < count; i++ {
+				pkt, ok := m.Retransmit(first + uint32(i))
+				if !ok {
+					continue // aged out of the ring
+				}
+				before := lnk.Stats().Airtime
+				pkts, _, err := lnk.TransmitPacketMulti(pkt)
+				if err != nil {
+					return err
+				}
+				rep.RetransmitAirtime += lnk.Stats().Airtime - before
+				if err := deliver(pkts); err != nil {
+					return err
+				}
+			}
+		case core.KindKeyRequest:
+			m.RequestKeyFrame()
+		}
+		return nil
+	}
+
+	for o := 0; o+n <= len(samples); o += n {
+		win := samples[o : o+n]
+		mr, err := m.EncodeWindow(win)
+		if err != nil {
+			return nil, fmt.Errorf("csecg: encoding window %d: %w", rep.Windows, err)
+		}
+		rep.Windows++
+		wins = append(wins, win)
+		rawBits += n * 12
+		compBits += mr.Packet.WireSize() * 8
+		pkts, _, err := lnk.TransmitPacketMulti(mr.Packet)
+		if err != nil {
+			return nil, err
+		}
+		if err := deliver(pkts); err != nil {
+			return nil, err
+		}
+		ctrlPkts, late := rx.EndSlot()
+		score(late)
+		for _, c := range ctrlPkts {
+			if ctrl == nil {
+				continue
+			}
+			if err := serveControl(c); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if rep.Windows == 0 {
 		return nil, fmt.Errorf("csecg: record shorter than one window")
 	}
+	// End of session: the reorder model releases anything still held,
+	// then the receiver abandons what never arrived.
+	if err := deliver(lnk.FlushPackets()); err != nil {
+		return nil, err
+	}
+	score(rx.Close())
+
+	rep.Transport = rx.Stats()
+	rep.Decoded = rep.Transport.Decoded
+	rep.Retransmits = m.Retransmits()
 	if prCount > 0 {
 		rep.MeanPRDN = sumPRDN / float64(prCount)
 	}
-	decoded := rep.Windows - rep.Lost
-	if decoded > 0 {
-		rep.MeanIterations = float64(sumIters) / float64(decoded)
-		rep.MeanDecodeTime = sumDecode / time.Duration(decoded)
+	if rep.Decoded > 0 {
+		rep.MeanIterations = float64(sumIters) / float64(rep.Decoded)
+		rep.MeanDecodeTime = sumDecode / time.Duration(rep.Decoded)
 	}
 	rep.WireCR = metrics.CR(rawBits, compBits)
 	rep.MoteCPU = m.AverageCPUUsage()
 	rep.CoordinatorCPU = dec.AverageCPUUsage()
 
-	// Energy: compare against streaming the raw 12-bit samples.
+	// Energy: compare against streaming the raw 12-bit samples. The
+	// downlink airtime already includes every retransmission the mote
+	// served, so lossy sessions pay for their recovery honestly.
 	st := lnk.Stats()
-	windowSeconds := float64(n) / FsMote
-	if rep.Windows > 0 {
-		rep.AirtimePerWindow = st.Airtime / time.Duration(rep.Windows)
+	rep.LinkStats = st
+	if ctrl != nil {
+		rep.ControlStats = ctrl.Stats()
 	}
+	rep.Lost = int(st.Dropped + st.Corrupted)
+	windowSeconds := float64(n) / FsMote
+	rep.AirtimePerWindow = st.Airtime / time.Duration(rep.Windows)
 	budget := energy.DefaultBudget()
 	rawAirtime := lnk.Airtime(n * 12 / 8)
 	rawLoad, err := energy.LoadFromAirtime(rawAirtime, 0, windowSeconds)
