@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench
+.PHONY: check vet lint build test race fuzz-smoke bench
 
-check: vet build test race fuzz-smoke
+check: vet lint build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the paper-constraint analyzers (no-FPU mote path, zero-alloc
+# hot loops, RAM/flash budgets, determinism, dropped errors).
+lint:
+	$(GO) run ./cmd/csecg-vet ./...
 
 build:
 	$(GO) build ./...

@@ -44,14 +44,14 @@ func main() {
 	}
 
 	var w *bufio.Writer
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = bufio.NewWriter(f)
-		defer w.Flush()
 	}
 
 	var rawBits, compBits, windows int
@@ -71,6 +71,16 @@ func main() {
 			if _, err := w.Write(blob); err != nil {
 				fail(err)
 			}
+		}
+	}
+	if w != nil {
+		// A dropped flush or close error here would silently truncate the
+		// packet stream on disk.
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+		if err := outFile.Close(); err != nil {
+			fail(err)
 		}
 	}
 	fmt.Printf("record %s: %d windows (%.0f s) encoded\n", *record, windows, float64(windows)*2)

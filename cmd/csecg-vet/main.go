@@ -1,0 +1,114 @@
+// Command csecg-vet runs csecg's domain-specific static analyzers over
+// the module: nofpu (no floating point in device-side packages), noalloc
+// (no allocation in //csecg:hotpath functions), budget (device RAM/flash
+// ledgers within the MSP430F1611 envelope), determinism (no
+// nondeterminism sources in library packages) and errcheck (no dropped
+// errors).
+//
+// Usage:
+//
+//	go run ./cmd/csecg-vet ./...
+//
+// csecg-vet exits 0 when the tree is clean, 1 when any analyzer reports
+// a finding, and 2 on a load or usage error. Output is one finding per
+// line in the form
+//
+//	file:line:col: [analyzer] message
+//
+// Flags: -json emits the findings as a JSON array; -suggest appends the
+// nearest allowed alternative to each finding (for example
+// internal/fixedpoint for float math); and each analyzer has a matching
+// bool flag (-nofpu=false disables it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"csecg/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("csecg-vet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	suggest := fs.Bool("suggest", false, "append the nearest allowed alternative to each finding")
+	all := analysis.Analyzers()
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+a.Doc+")")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dir := "."
+	for _, pat := range fs.Args() {
+		// Patterns are informational: the analyzers always load the whole
+		// module so cross-package types resolve; "./..." and directory
+		// arguments select the same tree. A directory argument anchors the
+		// module lookup.
+		if pat != "./..." && pat != "..." {
+			dir = strings.TrimSuffix(pat, "/...")
+		}
+	}
+
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+		return 2
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	cfg := analysis.DefaultConfig(mod.Path)
+	diags := analysis.RunModule(mod, cfg, active)
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = ""
+	}
+	for i := range diags {
+		if cwd == "" {
+			break
+		}
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stdout, d.String())
+			if *suggest && d.Suggestion != "" {
+				fmt.Fprintf(os.Stdout, "\tsuggestion: %s\n", d.Suggestion)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -185,7 +185,7 @@ func (e *Encoder) EncodeWindow(window []int16) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Frame{Level: uint8(level), Packet: pkt}, nil
+	return &Frame{Level: uint8(level), Packet: pkt.Clone()}, nil
 }
 
 // Decoder is the adaptive coordinator-side reconstructor.

@@ -1,0 +1,162 @@
+// Package analysis is csecg's in-tree static-analysis engine: it loads,
+// parses and type-checks the module with the standard library's go/ast
+// and go/types (no external dependencies) and runs a suite of
+// domain-specific analyzers that turn the paper's embedded constraints —
+// an integer-only MSP430 encoder path, allocation-free hot loops, a
+// 10 kB RAM / 48 kB flash budget, and bit-reproducible wire output —
+// into machine-checked invariants. cmd/csecg-vet is the command-line
+// driver; DESIGN.md §8 documents the invariants and the directive
+// grammar (//csecg:host, //csecg:hotpath, …) used to scope them.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Config scopes the analyzers to the repository layout.
+type Config struct {
+	// DevicePackages are the import paths whose code models the mote
+	// firmware: the nofpu analyzer forbids floating point there and the
+	// budget analyzer sums their //csecg:ram and //csecg:flash ledgers.
+	DevicePackages []string
+	// LibraryExcludePrefixes name import-path prefixes (cmd/, examples/)
+	// exempt from the determinism analyzer.
+	LibraryExcludePrefixes []string
+}
+
+// DefaultConfig returns the csecg repository scoping for a module path.
+func DefaultConfig(modPath string) Config {
+	return Config{
+		DevicePackages: []string{
+			modPath + "/internal/core",
+			modPath + "/internal/sensing",
+			modPath + "/internal/huffman",
+			modPath + "/internal/fixedpoint",
+			modPath + "/internal/mote",
+		},
+		LibraryExcludePrefixes: []string{
+			modPath + "/cmd/",
+			modPath + "/examples/",
+		},
+	}
+}
+
+// isDevice reports whether importPath is a device-side package.
+func (c Config) isDevice(importPath string) bool {
+	for _, p := range c.DevicePackages {
+		if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isLibrary reports whether importPath is a library package (everything
+// outside the exclude prefixes).
+func (c Config) isLibrary(importPath string) bool {
+	for _, p := range c.LibraryExcludePrefixes {
+		if strings.HasPrefix(importPath, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suggestion, when non-empty, names the nearest allowed alternative
+	// (printed by the driver's -suggest mode).
+	Suggestion string
+}
+
+// String renders the canonical file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Config   Config
+	Fset     *token.FileSet
+	Pkg      *Package
+	// Dirs indexes the package's //csecg: directives.
+	Dirs  *Directives
+	diags *[]Diagnostic
+	seen  map[string]bool
+}
+
+// Report records a finding at pos. Findings are deduplicated per
+// analyzer and source line so one offending expression yields one line
+// of output.
+func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
+	position := p.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    msg,
+		Suggestion: suggestion,
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoFPU, NoAlloc, Budget, Determinism, ErrCheck}
+}
+
+// RunPackage executes the given analyzers over one package.
+func RunPackage(fset *token.FileSet, pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
+	dirs := scanDirectives(fset, pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Config:   cfg,
+			Fset:     fset,
+			Pkg:      pkg,
+			Dirs:     dirs,
+			diags:    &diags,
+			seen:     map[string]bool{},
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// RunModule executes the analyzers over every package of the module and
+// returns the findings sorted by position.
+func RunModule(mod *Module, cfg Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		diags = append(diags, RunPackage(mod.Fset, pkg, cfg, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests run each analyzer over a small package under
+// testdata/src/<analyzer>/ whose sources carry analysistest-style
+// expectations: a `// want "regex"` comment on a line means exactly one
+// diagnostic whose message matches the regex must be reported there,
+// and any diagnostic without a matching want fails the test.
+
+var wantRE = regexp.MustCompile(`// want "(.*)"`)
+
+type wantDiag struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, dir string) []*wantDiag {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantDiag
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", e.Name(), i+1, m[1], err)
+			}
+			wants = append(wants, &wantDiag{file: e.Name(), line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+func runGolden(t *testing.T, name string, a *Analyzer, cfg func(importPath string) Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	importPath := name + "test"
+	pkg, fset, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := RunPackage(fset, pkg, cfg(importPath), []*Analyzer{a})
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestNoFPUGolden(t *testing.T) {
+	runGolden(t, "nofpu", NoFPU, func(ip string) Config {
+		return Config{DevicePackages: []string{ip}}
+	})
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	runGolden(t, "noalloc", NoAlloc, func(ip string) Config { return Config{} })
+}
+
+func TestBudgetGolden(t *testing.T) {
+	runGolden(t, "budget", Budget, func(ip string) Config {
+		return Config{DevicePackages: []string{ip}}
+	})
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	// No exclude prefixes: the testdata package counts as a library.
+	runGolden(t, "determinism", Determinism, func(ip string) Config { return Config{} })
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	runGolden(t, "errcheck", ErrCheck, func(ip string) Config { return Config{} })
+}
+
+// TestModuleIsClean is the end-to-end gate: the full suite over the
+// whole repository must report nothing — the same invariant CI enforces
+// with `go run ./cmd/csecg-vet ./...`.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunModule(mod, DefaultConfig(mod.Path), Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding on clean tree: %s", d)
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Budget sums the device-side memory ledgers declared with //csecg:ram,
+// //csecg:flash and //csecg:codebookflash const markers and fails when a
+// ledger exceeds its budget constant (RAMBudget, FlashBudget,
+// CodebookFlashBudget) in the same package. The ledger mirrors the
+// MSP430F1611 envelope the paper reports: 10 kB RAM / 48 kB flash total,
+// with the measured firmware at 6.5 kB RAM / 7.5 kB flash and a ~1.5 kB
+// Huffman codebook.
+var Budget = &Analyzer{
+	Name: "budget",
+	Doc:  "sum //csecg:ram and //csecg:flash ledgers against their budget constants",
+	Run:  runBudget,
+}
+
+// ledgerBudgets maps ledger verb -> (budget const name, ledger label).
+var ledgerBudgets = []struct {
+	verb, budgetConst, label string
+}{
+	{"ram", "RAMBudget", "RAM"},
+	{"flash", "FlashBudget", "flash"},
+	{"codebookflash", "CodebookFlashBudget", "codebook flash"},
+}
+
+func runBudget(pass *Pass) {
+	if !pass.Config.isDevice(pass.Pkg.ImportPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	scope := pass.Pkg.Types.Scope()
+
+	// The codebook is stored in flash: its ledger counts against both the
+	// codebook sub-budget and the overall flash budget.
+	sums := map[string]int64{}
+	firstSpec := map[string]*ast.ValueSpec{}
+	addVerb := func(verb, into string) {
+		for _, spec := range pass.Dirs.specs[verb] {
+			if firstSpec[into] == nil {
+				firstSpec[into] = spec
+			}
+			for _, name := range spec.Names {
+				c, ok := info.Defs[name].(*types.Const)
+				if !ok {
+					pass.Report(name.Pos(), fmt.Sprintf("//csecg:%s marker on %q, which is not a constant", verb, name.Name),
+						"budget ledger entries must be untyped integer constants")
+					continue
+				}
+				v, exact := constant.Int64Val(c.Val())
+				if c.Val().Kind() != constant.Int || !exact {
+					pass.Report(name.Pos(), fmt.Sprintf("//csecg:%s marker on %q, which is not an integer constant", verb, name.Name),
+						"budget ledger entries must be untyped integer constants")
+					continue
+				}
+				sums[into] += v
+			}
+		}
+	}
+	addVerb("ram", "ram")
+	addVerb("flash", "flash")
+	addVerb("codebookflash", "flash")
+	addVerb("codebookflash", "codebookflash")
+
+	for _, lb := range ledgerBudgets {
+		spec := firstSpec[lb.verb]
+		if spec == nil {
+			continue // no ledger of this kind in the package
+		}
+		obj := scope.Lookup(lb.budgetConst)
+		c, ok := obj.(*types.Const)
+		if !ok {
+			pass.Report(spec.Pos(), fmt.Sprintf("package has a //csecg:%s ledger but no %s constant to check it against", lb.verb, lb.budgetConst),
+				fmt.Sprintf("declare const %s in this package", lb.budgetConst))
+			continue
+		}
+		budget, exact := constant.Int64Val(c.Val())
+		if !exact {
+			pass.Report(spec.Pos(), fmt.Sprintf("%s is not an integer constant", lb.budgetConst), "")
+			continue
+		}
+		if sums[lb.verb] > budget {
+			pass.Report(spec.Pos(), fmt.Sprintf("%s ledger totals %d bytes, exceeding %s = %d bytes by %d",
+				lb.label, sums[lb.verb], lb.budgetConst, budget, sums[lb.verb]-budget),
+				"shrink a buffer or raise the budget constant with justification from the datasheet")
+		}
+	}
+}

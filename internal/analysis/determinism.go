@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism protects bit-reproducibility in library packages
+// (everything outside cmd/ and examples/): the mote and coordinator
+// regenerate the same sparse Φ from a shared seed, so wire output must
+// not depend on math/rand's global state, wall-clock time, or Go's
+// randomized map iteration order. Flags: math/rand imports, time.Now
+// calls (waive intentional uses with //csecg:nondet) and ranging over a
+// map (waive order-independent reductions with //csecg:orderok).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid nondeterminism sources in library packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Config.isLibrary(pass.Pkg.ImportPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				if pass.Dirs.covered("nondet", imp.Pos()) {
+					continue
+				}
+				pass.Report(imp.Pos(), fmt.Sprintf("library package imports %s, whose global state breaks seeded reproducibility", path),
+					"use internal/rng (seeded Xoshiro256**) so mote and coordinator regenerate identical streams")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := info.Uses[sel.Sel]
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+					if !pass.Dirs.covered("nondet", n.Pos()) {
+						pass.Report(n.Pos(), "time.Now in a library package makes output depend on wall-clock time",
+							"inject a clock from the caller, or waive intentional instrumentation with //csecg:nondet")
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !pass.Dirs.covered("orderok", n.Pos()) {
+						pass.Report(n.Pos(), "map iteration order is randomized; ranging over a map in a library package risks nondeterministic output",
+							"iterate sorted keys, or waive an order-independent reduction with //csecg:orderok")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //csecg: directive grammar. A directive is a line comment of the
+// form
+//
+//	//csecg:<verb> [free-text reason]
+//
+// whose scope depends on where it sits:
+//
+//   - in a comment group entirely before the package clause: the whole
+//     file;
+//   - in the doc (or trailing) comment of a declaration, struct field or
+//     const/var spec: that declaration;
+//   - trailing a statement, or alone on the line above one: the smallest
+//     statement starting on that line.
+//
+// Verbs:
+//
+//	host     nofpu exemption — host-side modeling/decoder code
+//	hotpath  noalloc opt-in — function must not allocate
+//	allocok  noalloc waiver — allocation proven amortized/capped
+//	orderok  determinism waiver — map iteration proven order-independent
+//	nondet   determinism waiver — intentional wall-clock/nondeterminism
+//	errok    errcheck waiver — error intentionally discarded
+//	ram      budget marker — const contributes to the RAM ledger
+//	flash    budget marker — const contributes to the flash ledger
+//	codebookflash  budget marker — const counts against both the flash
+//	         ledger and the codebook sub-budget
+const directivePrefix = "//csecg:"
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(pos token.Pos) bool { return pos >= s.lo && pos < s.hi }
+
+// Directives indexes every //csecg: directive of one package by verb.
+type Directives struct {
+	fset *token.FileSet
+	// spans maps verb -> exempted source ranges.
+	spans map[string][]span
+	// specs maps verb -> marked const/var specs (budget ledgers).
+	specs map[string][]*ast.ValueSpec
+	// hotpath holds the function declarations opted into noalloc.
+	hotpath []*ast.FuncDecl
+}
+
+// covered reports whether pos falls inside a verb's exempted range.
+func (d *Directives) covered(verb string, pos token.Pos) bool {
+	for _, s := range d.spans[verb] {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseVerb extracts the directive verb from one comment, or "".
+func parseVerb(c *ast.Comment) string {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return ""
+	}
+	rest := c.Text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// scanDirectives builds the directive index for a package.
+func scanDirectives(fset *token.FileSet, pkg *Package) *Directives {
+	d := &Directives{
+		fset:  fset,
+		spans: map[string][]span{},
+		specs: map[string][]*ast.ValueSpec{},
+	}
+	for _, file := range pkg.Files {
+		d.scanFile(fset, file)
+	}
+	return d
+}
+
+func (d *Directives) scanFile(fset *token.FileSet, file *ast.File) {
+	// Directives attached to declarations, fields and specs.
+	claimed := map[*ast.Comment]bool{}
+	attach := func(cg *ast.CommentGroup, lo, hi token.Pos, spec *ast.ValueSpec) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			verb := parseVerb(c)
+			if verb == "" {
+				continue
+			}
+			claimed[c] = true
+			d.spans[verb] = append(d.spans[verb], span{lo, hi})
+			if spec != nil {
+				d.specs[verb] = append(d.specs[verb], spec)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if hasVerb(n.Doc, "hotpath") {
+				d.hotpath = append(d.hotpath, n)
+			}
+			attach(n.Doc, n.Pos(), n.End(), nil)
+		case *ast.GenDecl:
+			attach(n.Doc, n.Pos(), n.End(), nil)
+		case *ast.ValueSpec:
+			attach(n.Doc, n.Pos(), n.End(), n)
+			attach(n.Comment, n.Pos(), n.End(), n)
+		case *ast.TypeSpec:
+			attach(n.Doc, n.Pos(), n.End(), nil)
+			attach(n.Comment, n.Pos(), n.End(), nil)
+		case *ast.Field:
+			attach(n.Doc, n.Pos(), n.End(), nil)
+			attach(n.Comment, n.Pos(), n.End(), nil)
+		}
+		return true
+	})
+
+	// Index the smallest statement starting on each line, for
+	// statement-scoped directives.
+	stmtByLine := map[int]ast.Stmt{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		// A body block starts on the same line as its for/if/func header;
+		// letting it win would shrink the directive span to exclude the
+		// header (where a range expression lives).
+		if _, isBlock := st.(*ast.BlockStmt); isBlock {
+			return true
+		}
+		line := fset.Position(st.Pos()).Line
+		if prev, ok := stmtByLine[line]; !ok || st.Pos() >= prev.Pos() && st.End() <= prev.End() {
+			stmtByLine[line] = st
+		}
+		return true
+	})
+
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			verb := parseVerb(c)
+			if verb == "" || claimed[c] {
+				continue
+			}
+			// Entirely before the package clause: whole file.
+			if c.End() < file.Package {
+				d.spans[verb] = append(d.spans[verb], span{file.Pos(), file.End()})
+				continue
+			}
+			// Trailing a statement on the same line, or alone on the
+			// line above one.
+			line := fset.Position(c.Pos()).Line
+			st := stmtByLine[line]
+			if st == nil || st.Pos() > c.Pos() {
+				if next, ok := stmtByLine[line+1]; ok {
+					st = next
+				}
+			}
+			if st != nil {
+				d.spans[verb] = append(d.spans[verb], span{st.Pos(), st.End()})
+			}
+		}
+	}
+}
+
+func hasVerb(cg *ast.CommentGroup, verb string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if parseVerb(c) == verb {
+			return true
+		}
+	}
+	return false
+}

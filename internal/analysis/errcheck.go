@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags call statements that drop an error return, module-wide.
+// A silently swallowed error in the transport or decoder path turns a
+// recoverable telemetry fault into corrupt reconstruction. Explicitly
+// assigning the error to _ counts as a deliberate discard and is not
+// flagged; the same goes for the //csecg:errok waiver and a small
+// allowlist of never-fails writers (strings.Builder, bytes.Buffer,
+// fmt.Print*).
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag dropped error returns",
+	Run:  runErrCheck,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// errcheckAllowedFmt are fmt functions whose error returns are
+// conventionally ignored (they write to stdout).
+var errcheckAllowedFmt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// errcheckAllowedFprint are fmt functions whose error is ignorable when
+// the destination writer never fails (strings.Builder, bytes.Buffer) or
+// is a process standard stream (same convention as fmt.Print*).
+var errcheckAllowedFprint = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// errcheckAllowedRecv are receiver types whose methods document that the
+// returned error is always nil.
+var errcheckAllowedRecv = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			if pass.Dirs.covered("errok", call.Pos()) {
+				return true
+			}
+			if !callReturnsError(info, call) || callErrorAllowed(info, call) {
+				return true
+			}
+			pass.Report(call.Pos(), fmt.Sprintf("result of %s includes an error that is dropped", exprString(call.Fun)),
+				"handle the error, assign it to _ to discard explicitly, or waive with //csecg:errok")
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// callErrorAllowed reports whether the callee is on the never-fails
+// allowlist.
+func callErrorAllowed(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if errcheckAllowedFmt[fn.Name()] {
+			return true
+		}
+		if errcheckAllowedFprint[fn.Name()] && len(call.Args) > 0 && neverFailsWriter(info, call.Args[0]) {
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return errcheckAllowedRecv[key]
+}
+
+// neverFailsWriter reports whether arg is a writer whose Write never
+// returns a non-nil error: a *strings.Builder, a *bytes.Buffer, or one
+// of the process standard streams (os.Stdout, os.Stderr).
+func neverFailsWriter(info *types.Info, arg ast.Expr) bool {
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel]; ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return errcheckAllowedRecv[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}

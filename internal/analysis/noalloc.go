@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc forbids heap allocation inside functions marked
+// //csecg:hotpath: the per-sample encoder path must allocate nothing
+// after construction, matching the firmware's static buffers. Flagged
+// forms: make, new, append (which may grow past capacity), map/slice
+// composite literals, &T{...}, closures, string concatenation and
+// string<->[]byte conversions. An allocation proven amortized or
+// capacity-bounded is waived with //csecg:allocok.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocation in //csecg:hotpath functions",
+	Run:  runNoAlloc,
+}
+
+const allocSuggestion = "preallocate in the constructor and reuse, or waive a capacity-bounded append with //csecg:allocok"
+
+func runNoAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, fn := range pass.Dirs.hotpath {
+		if fn.Body == nil {
+			continue
+		}
+		name := fn.Name.Name
+		if fn.Recv != nil && len(fn.Recv.List) > 0 {
+			name = recvTypeName(fn.Recv.List[0].Type) + "." + name
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if pass.Dirs.covered("allocok", n.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAllocCall(pass, info, name, n)
+			case *ast.CompositeLit:
+				tv, ok := info.Types[ast.Expr(n)]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Report(n.Pos(), fmt.Sprintf("map literal allocates in hotpath %s", name), allocSuggestion)
+				case *types.Slice:
+					pass.Report(n.Pos(), fmt.Sprintf("slice literal allocates in hotpath %s", name), allocSuggestion)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, ok := n.X.(*ast.CompositeLit); ok {
+						pass.Report(n.Pos(), fmt.Sprintf("&composite literal may escape to the heap in hotpath %s", name), allocSuggestion)
+					}
+				}
+			case *ast.FuncLit:
+				pass.Report(n.Pos(), fmt.Sprintf("closure allocates in hotpath %s", name), allocSuggestion)
+				return false
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD {
+					if tv, ok := info.Types[ast.Expr(n)]; ok && isString(tv.Type) {
+						pass.Report(n.Pos(), fmt.Sprintf("string concatenation allocates in hotpath %s", name), allocSuggestion)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+					if tv, ok := info.Types[n.Lhs[0]]; ok && tv.Type != nil && isString(tv.Type) {
+						pass.Report(n.Pos(), fmt.Sprintf("string concatenation allocates in hotpath %s", name), allocSuggestion)
+					}
+				}
+			case *ast.GoStmt:
+				pass.Report(n.Pos(), fmt.Sprintf("goroutine launch allocates in hotpath %s", name), allocSuggestion)
+			}
+			return true
+		})
+	}
+}
+
+// checkAllocCall flags allocating call forms: make, new, append, and
+// string<->[]byte conversions.
+func checkAllocCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Report(call.Pos(), fmt.Sprintf("%s allocates in hotpath %s", b.Name(), fname), allocSuggestion)
+			case "append":
+				pass.Report(call.Pos(), fmt.Sprintf("append may grow past capacity in hotpath %s", fname), allocSuggestion)
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	to, from := tv.Type, argTV.Type
+	if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+		pass.Report(call.Pos(), fmt.Sprintf("string/[]byte conversion allocates in hotpath %s", fname), allocSuggestion)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// recvTypeName extracts the receiver base type name for messages.
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,28 @@
+// Package budgettest exercises the budget analyzer: //csecg:ram and
+// //csecg:flash ledger constants are summed against RAMBudget /
+// FlashBudget / CodebookFlashBudget in the same package.
+package budgettest
+
+// RAMBudget is deliberately smaller than the ledger below.
+const RAMBudget = 1024
+
+// CodebookFlashBudget is deliberately smaller than the codebook entry.
+const CodebookFlashBudget = 100
+
+const (
+	BufA = 600 //csecg:ram sample buffer // want "RAM ledger totals 1300 bytes, exceeding RAMBudget = 1024 bytes by 276"
+	BufB = 700 //csecg:ram scratch
+)
+
+// Code has a flash marker but the package declares no FlashBudget
+// constant, which is itself a finding.
+const Code = 4096 //csecg:flash encoder code // want "no FlashBudget constant"
+
+const Book = 150 //csecg:codebookflash serialized table // want "codebook flash ledger totals 150 bytes, exceeding CodebookFlashBudget = 100 bytes by 50"
+
+// NotAConst carries a ledger marker but is a variable, so it cannot be
+// summed at vet time.
+var NotAConst = len("xx") //csecg:ram bogus // want "not a constant"
+
+// Unmarked constants never contribute to any ledger (guard).
+const Unrelated = 1 << 20

@@ -1,0 +1,58 @@
+// Package determtest exercises the determinism analyzer: the harness
+// treats it as a library package (not under cmd/ or examples/).
+package determtest
+
+import (
+	"math/rand" // want "imports math/rand"
+	"sort"
+	"time"
+)
+
+func usesGlobalRand() int { return rand.Int() }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a library package"
+}
+
+func wallClockWaived() int64 {
+	t := time.Now() //csecg:nondet intentional instrumentation
+	return t.UnixNano()
+}
+
+func mapOrder(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+func mapOrderWaived(m map[int]int) int {
+	sum := 0
+	//csecg:orderok sum is order-independent
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sortedKeys is the deterministic idiom and must not be flagged after
+// the waived extraction loop.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//csecg:orderok keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceOrder ranges over a slice, which is always ordered (guard).
+func sliceOrder(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,52 @@
+// Package errchecktest exercises the errcheck analyzer.
+package errchecktest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func twoValues() (int, error) { return 0, nil }
+
+func dropped() {
+	fallible() // want "result of fallible includes an error that is dropped"
+}
+
+func droppedMulti() {
+	twoValues() // want "result of twoValues includes an error that is dropped"
+}
+
+func droppedDefer() {
+	defer fallible() // want "result of fallible includes an error that is dropped"
+}
+
+func explicitDiscard() {
+	_ = fallible() // explicit discard is deliberate: not flagged
+	_, _ = twoValues()
+}
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func waived() {
+	fallible() //csecg:errok error is advisory in this context
+}
+
+func allowlisted(sb *strings.Builder) {
+	fmt.Println("stdout convention")      // not flagged
+	fmt.Fprintf(sb, "never-fails writer") // not flagged
+	sb.WriteString("never fails")         // not flagged
+}
+
+func pureCall() int { return 42 }
+
+func noError() {
+	pureCall() // no error result: not flagged
+}

@@ -1,0 +1,53 @@
+// Package noalloctest exercises the noalloc analyzer: only functions
+// marked //csecg:hotpath are checked, and //csecg:allocok waives a
+// proven-bounded allocation.
+package noalloctest
+
+type enc struct {
+	buf  []byte
+	syms []int
+}
+
+//csecg:hotpath per-window path under test
+func (e *enc) hot(n int, name string) {
+	scratch := make([]int, n) // want "make allocates in hotpath enc.hot"
+	_ = scratch
+	p := new(enc) // want "new allocates in hotpath enc.hot"
+	_ = p
+	e.syms = append(e.syms, n) // want "append may grow past capacity in hotpath enc.hot"
+	m := map[int]int{}         // want "map literal allocates in hotpath enc.hot"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates in hotpath enc.hot"
+	_ = s
+	q := &enc{} // want "composite literal may escape"
+	_ = q
+	f := func() {} // want "closure allocates in hotpath enc.hot"
+	_ = f
+	label := name + "!" // want "string concatenation allocates in hotpath enc.hot"
+	label += "?"        // want "string concatenation allocates in hotpath enc.hot"
+	_ = label
+	b := []byte(name) // want "conversion allocates in hotpath enc.hot"
+	_ = b
+}
+
+//csecg:hotpath waiver cases: every allocation below is waived
+func (e *enc) hotWaived(v byte) {
+	e.buf = append(e.buf, v) //csecg:allocok amortized, buffer retained across calls
+}
+
+// cold allocates freely: it is not marked hotpath, so the analyzer must
+// stay silent (false-positive guard).
+func cold(n int) []int {
+	out := make([]int, n)
+	out = append(out, n)
+	return out
+}
+
+// hotClean is the clean hotpath guard: index writes into preallocated
+// buffers, no findings.
+//
+//csecg:hotpath clean guard
+func (e *enc) hotClean(v byte, i int) {
+	e.buf[i] = v
+	e.syms[i] = int(v)
+}

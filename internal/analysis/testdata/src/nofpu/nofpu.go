@@ -1,0 +1,64 @@
+// Package nofputest exercises the nofpu analyzer: the test harness
+// registers this package as device-side, so every float construct below
+// must be flagged unless exempted with //csecg:host.
+package nofputest
+
+import "math"
+
+var globalF float64 = 1 // want "floating-point type float64"
+
+const scaleConst = 1.5 // want "floating-point"
+
+func floatDecl() { // integer name, float body
+	var v float32 // want "floating-point type float32"
+	_ = v
+}
+
+func floatConversion(i int32) {
+	_ = float64(i) // want "conversion to floating-point type float64"
+}
+
+func floatArith(a, b int) {
+	_ = untypedRatio(a) * untypedRatio(b) // want "floating-point arithmetic"
+}
+
+//csecg:host helper for the arithmetic case above
+func untypedRatio(x int) float64 { return float64(x) }
+
+func floatCall(x int) {
+	_ = math.Sqrt(untypedRatio(x)) // want "calls math.Sqrt, whose signature uses floating point"
+}
+
+// hostExempt is full of floats but carries the directive, so the
+// analyzer must stay silent inside it.
+//
+//csecg:host cycle accounting for the test
+func hostExempt() float64 {
+	v := 2.5
+	return v * float64(3)
+}
+
+// integerOnly is the false-positive guard: the real mote path, nothing
+// to flag.
+func integerOnly(x []int16) int32 {
+	var acc int32
+	for _, v := range x {
+		acc += int32(v)
+	}
+	return acc >> 3
+}
+
+// Number mimics linalg.Float-style constraints: a generic function over
+// a float-capable type parameter is not device float usage (it is only
+// instantiated host-side), so nothing here may be flagged.
+type Number interface {
+	~int32 | ~float64
+}
+
+func genericSum[T Number](xs []T) T {
+	var acc T
+	for _, v := range xs {
+		acc += v
+	}
+	return acc
+}

@@ -249,6 +249,7 @@ func (r *Receiver) abandonTo(to uint32) []Decoded {
 	// Drop buffered packets the jump overtook (deltas parked behind the
 	// key frame we skipped to): they are already counted abandoned, and
 	// leaving them would wedge the buffer forever.
+	//csecg:orderok unconditional filter; result is order-independent
 	for seq := range r.buf {
 		if seq < r.expected {
 			delete(r.buf, seq)
@@ -261,6 +262,7 @@ func (r *Receiver) abandonTo(to uint32) []Decoded {
 func (r *Receiver) earliestBufferedKey() (uint32, bool) {
 	var min uint32
 	found := false
+	//csecg:orderok min reduction, independent of iteration order
 	for seq, pkt := range r.buf {
 		if pkt.Kind == core.KindKey && (!found || seq < min) {
 			min = seq
@@ -274,6 +276,7 @@ func (r *Receiver) earliestBufferedKey() (uint32, bool) {
 func (r *Receiver) minBuffered() (uint32, bool) {
 	var min uint32
 	found := false
+	//csecg:orderok min reduction, independent of iteration order
 	for seq := range r.buf {
 		if !found || seq < min {
 			min = seq

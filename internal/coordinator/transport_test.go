@@ -39,7 +39,7 @@ func encodeN(t *testing.T, enc *core.Encoder, n int) []*core.Packet {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pkts = append(pkts, p)
+		pkts = append(pkts, p.Clone())
 	}
 	return pkts
 }

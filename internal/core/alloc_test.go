@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// The encoder's per-sample path must allocate nothing after
+// construction — the firmware it models has only static buffers. The
+// noalloc analyzer enforces this statically over the //csecg:hotpath
+// functions; these tests back the static claim with the runtime
+// allocator. testing.AllocsPerRun performs a warm-up call first, so
+// one-time amortized growth (the bit writer's first window) does not
+// count against the steady state.
+
+func TestPushSampleZeroAllocs(t *testing.T) {
+	enc, err := NewEncoder(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := enc.Params().N
+	sample, idx := int16(1024), 0
+	avg := testing.AllocsPerRun(3*n, func() {
+		if _, err := enc.PushSample(sample + int16(idx%9)); err != nil {
+			t.Fatal(err)
+		}
+		idx++
+	})
+	if avg != 0 {
+		t.Errorf("PushSample allocates %.2f times per call, want 0", avg)
+	}
+}
+
+func TestEncodeWindowSteadyStateZeroAllocs(t *testing.T) {
+	enc, err := NewEncoder(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := make([]int16, enc.Params().N)
+	for i := range win {
+		win[i] = int16(1024 + i%5)
+	}
+	// Consume the initial key frame so every measured call is the
+	// steady-state delta path. The key-frame interval (64) exceeds the
+	// run count, so no scheduled key frame lands inside the measurement.
+	if _, err := enc.EncodeWindow(win); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(40, func() {
+		pkt, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Kind != KindDelta {
+			t.Fatalf("expected steady-state delta frame, got kind %d", pkt.Kind)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state EncodeWindow allocates %.2f times per call, want 0", avg)
+	}
+}
+
+func TestEncodeWindowKeyFrameZeroAllocs(t *testing.T) {
+	enc, err := NewEncoder(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := make([]int16, enc.Params().N)
+	for i := range win {
+		win[i] = int16(1024 + i%5)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		enc.ForceKeyFrame()
+		pkt, err := enc.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Kind != KindKey {
+			t.Fatalf("expected key frame, got kind %d", pkt.Kind)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("key-frame EncodeWindow allocates %.2f times per call, want 0", avg)
+	}
+}

@@ -17,6 +17,7 @@ import (
 // better match is wanted.
 func DefaultCodebook() *huffman.Codebook {
 	defaultCodebookOnce.Do(func() {
+		//csecg:host offline training; the mote only carries the resulting table
 		freq := DiffHistogramModel(20)
 		cb, err := huffman.Train(freq)
 		if err != nil {
@@ -38,6 +39,8 @@ var (
 // difference symbols: freq(d) ∝ exp(−|d|/scale) plus add-one smoothing
 // so every symbol is coded (the paper's "complete codebook of size
 // 512"). scale is the expected absolute difference magnitude.
+//
+//csecg:host offline codebook training runs on the workstation
 func DiffHistogramModel(scale float64) []int {
 	if scale <= 0 {
 		scale = 20

@@ -253,7 +253,7 @@ func TestDecoderRejectsGapUntilKeyFrame(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		packets = append(packets, pkt)
+		packets = append(packets, pkt.Clone())
 	}
 	if len(packets) < 9 {
 		t.Fatalf("need ≥9 packets, got %d", len(packets))
@@ -295,6 +295,7 @@ func TestDecoderDeltaBeforeKey(t *testing.T) {
 	dec.SolverOptions.MaxIter = 1
 	windows := testWindows(t, 6)
 	p0, _ := enc.EncodeWindow(windows[0])
+	p0 = p0.Clone() // retained across the next encode call
 	p1, err := enc.EncodeWindow(windows[1])
 	if err != nil {
 		t.Fatal(err)
@@ -328,9 +329,12 @@ func TestEncoderReset(t *testing.T) {
 	enc, _ := NewEncoder(params)
 	windows := testWindows(t, 6)
 	a1, _ := enc.EncodeWindow(windows[0])
+	a1 = a1.Clone() // packets are encoder-owned; clone to compare across calls
 	b1, _ := enc.EncodeWindow(windows[1])
+	b1 = b1.Clone()
 	enc.Reset()
 	a2, _ := enc.EncodeWindow(windows[0])
+	a2 = a2.Clone()
 	b2, _ := enc.EncodeWindow(windows[1])
 	if a1.Kind != a2.Kind || a1.Seq != a2.Seq || len(a1.Payload) != len(a2.Payload) {
 		t.Error("reset did not reproduce first packet")

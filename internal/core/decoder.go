@@ -1,3 +1,8 @@
+// This file is the smartphone/coordinator half of the system: the paper
+// defers all real-valued arithmetic (notably the 1/√d sensing scale)
+// here, so the whole file is exempt from the device-side float ban.
+//csecg:host coordinator-side reconstruction
+
 package core
 
 import (

@@ -29,6 +29,13 @@ type Encoder struct {
 	symbols []int
 	escapes []int32
 	centred []int16
+	// pkt and its payload buffers model the firmware's single TX packet
+	// buffer: every Encode call returns &pkt, so the steady-state encode
+	// path allocates nothing. Callers that retain a packet past the next
+	// encode call must Clone it.
+	pkt        Packet
+	keyPayload []byte
+	bw         *huffman.BitWriter
 }
 
 // NewEncoder builds an encoder for the given parameters.
@@ -42,12 +49,15 @@ func NewEncoder(p Params) (*Encoder, error) {
 		return nil, err
 	}
 	return &Encoder{
-		p:       p,
-		phi:     phi,
-		prevY:   make([]int32, p.M),
-		y:       make([]int32, p.M),
-		symbols: make([]int, 0, p.M),
-		centred: make([]int16, p.N),
+		p:          p,
+		phi:        phi,
+		prevY:      make([]int32, p.M),
+		y:          make([]int32, p.M),
+		symbols:    make([]int, 0, p.M),
+		escapes:    make([]int32, 0, p.M),
+		centred:    make([]int16, p.N),
+		keyPayload: make([]byte, 2*p.M),
+		bw:         huffman.NewBitWriter(),
 	}, nil
 }
 
@@ -77,6 +87,12 @@ func (e *Encoder) Reset() {
 // EncodeWindow compresses one window of raw ADC samples (values
 // 0..2047). It returns the packet to transmit. The window length must
 // equal Params().N.
+//
+// The returned packet is owned by the encoder — the analogue of the
+// firmware's single TX buffer — and is overwritten by the next
+// EncodeWindow/PushSample call. Clone it to retain it longer.
+//
+//csecg:hotpath one call per 2-second window; must not allocate
 func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
 	if len(window) != e.p.N {
 		return nil, fmt.Errorf("core: window length %d, want %d", len(window), e.p.N)
@@ -97,7 +113,10 @@ func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
 // ADC sample, updating the measurement vector incrementally (d integer
 // adds — the work a real mote does in the ADC interrupt, with no window
 // buffer at all). Every N-th sample completes a window and returns its
-// packet; otherwise the packet is nil.
+// packet; otherwise the packet is nil. Like EncodeWindow, the returned
+// packet is encoder-owned and valid only until the next encode call.
+//
+//csecg:hotpath runs in the ADC interrupt on the real mote
 func (e *Encoder) PushSample(sample int16) (*Packet, error) {
 	e.phi.AddMeasureInt(e.y, e.streamIdx, sample-ADCBaseline)
 	e.streamIdx++
@@ -111,6 +130,8 @@ func (e *Encoder) PushSample(sample int16) (*Packet, error) {
 // finishWindow applies the LSB drop to the accumulated measurements and
 // runs the difference and entropy stages. e.y is reset for the next
 // streaming window after its contents are consumed.
+//
+//csecg:hotpath completes every window on the per-sample path
 func (e *Encoder) finishWindow() (*Packet, error) {
 	// The agreed LSB drop (round-to-nearest arithmetic shift) bounds
 	// the difference range.
@@ -146,47 +167,53 @@ func (e *Encoder) finishWindow() (*Packet, error) {
 
 // encodeKey packs the measurements raw as little-endian int16 (the
 // measurement of a zero-centered 11-bit window through a weight-d binary
-// column fits comfortably: |y| ≤ d·1024 = 12288 for d=12).
+// column fits comfortably: |y| ≤ d·1024 = 12288 for d=12) into the
+// preallocated key payload buffer.
+//
+//csecg:hotpath key-frame half of the window completion path
 func (e *Encoder) encodeKey() *Packet {
-	payload := make([]byte, 2*e.p.M)
 	for i, v := range e.y {
-		binary.LittleEndian.PutUint16(payload[2*i:], uint16(clampInt16(v)))
+		binary.LittleEndian.PutUint16(e.keyPayload[2*i:], uint16(clampInt16(v)))
 	}
-	return &Packet{Seq: e.seq, Kind: KindKey, Payload: payload}
+	e.pkt = Packet{Seq: e.seq, Kind: KindKey, Payload: e.keyPayload}
+	return &e.pkt
 }
 
 // encodeDelta Huffman-codes the measurement differences. Differences
 // outside [−256, 254] use the escape codeword followed by a raw 24-bit
 // value (two's complement), wide enough for any column weight.
+//
+//csecg:hotpath delta-frame half of the window completion path
 func (e *Encoder) encodeDelta() (*Packet, error) {
 	e.symbols = e.symbols[:0]
 	e.escapes = e.escapes[:0]
 	for i, v := range e.y {
 		d := v - e.prevY[i]
 		if d >= -NumDiffSymbols/2 && d < NumDiffSymbols/2-1 {
-			e.symbols = append(e.symbols, int(d)+NumDiffSymbols/2)
+			e.symbols = append(e.symbols, int(d)+NumDiffSymbols/2) //csecg:allocok capacity M, preallocated
 		} else {
-			e.symbols = append(e.symbols, EscapeSymbol)
-			e.escapes = append(e.escapes, d)
+			e.symbols = append(e.symbols, EscapeSymbol) //csecg:allocok capacity M, preallocated
+			e.escapes = append(e.escapes, d)            //csecg:allocok capacity M, preallocated
 		}
 	}
-	w := huffman.NewBitWriter()
+	e.bw.Reset()
 	esc := 0
 	for _, s := range e.symbols {
-		if err := e.p.Codebook.Encode(w, s); err != nil {
+		if err := e.p.Codebook.Encode(e.bw, s); err != nil {
 			return nil, fmt.Errorf("core: entropy coding: %w", err)
 		}
 		if s == EscapeSymbol {
-			w.WriteBits(uint32(e.escapes[esc])&0xFFFFFF, 24)
+			e.bw.WriteBits(uint32(e.escapes[esc])&0xFFFFFF, 24)
 			esc++
 		}
 	}
-	return &Packet{
+	e.pkt = Packet{
 		Seq:        e.seq,
 		Kind:       KindDelta,
 		NumSymbols: uint16(len(e.symbols)),
-		Payload:    w.Bytes(),
-	}, nil
+		Payload:    e.bw.Bytes(),
+	}
+	return &e.pkt, nil
 }
 
 func clampInt16(v int32) int16 {

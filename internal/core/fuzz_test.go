@@ -72,6 +72,7 @@ func FuzzPacketStream(f *testing.F) {
 				t.Fatalf("encoding window %d: %v", encoded, err)
 			}
 			encoded++
+			pkt = pkt.Clone() // the stream retains packets across encode calls
 			stream = append(stream, pkt)
 			return pkt
 		}
@@ -163,6 +164,7 @@ func FuzzDecodeDelta(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	key = key.Clone() // retained for resync across later encode calls
 	if _, err := dec.DecodePacket(key); err != nil {
 		f.Fatal(err)
 	}

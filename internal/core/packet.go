@@ -80,6 +80,20 @@ type Packet struct {
 	Payload []byte
 }
 
+// Clone returns a deep copy of p with its own payload buffer. Encoder
+// packets alias the encoder's single TX buffer and are overwritten by
+// the next encode call; any component that retains a packet across
+// windows (retransmit rings, reassembly buffers, recorded sessions)
+// must clone it first.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
 // packet wire layout (little-endian):
 //
 //	magic      uint8  = 0xC5

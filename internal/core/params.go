@@ -34,6 +34,12 @@ const (
 	// NumDiffSymbols is the difference alphabet: values [−256, 255]
 	// map to symbols 0..511.
 	NumDiffSymbols = 512
+	// DefaultMeasurements is M at the default CR = 50% target:
+	// metrics.MForCR(50, WindowSize). Kept as a constant so the
+	// device-side RAM ledger (internal/mote, checked by the budget
+	// analyzer) can be summed at compile time; a test pins the two
+	// together.
+	DefaultMeasurements = WindowSize / 2
 	// EscapeSymbol is the codeword borrowed for out-of-range
 	// differences: it is followed by a raw 16-bit value. The paper's
 	// codebook has no escape (its records keep differences in range);
@@ -99,7 +105,7 @@ func (p Params) withDefaults() (Params, error) {
 		p.D = DefaultColumnWeight
 	}
 	if p.M == 0 {
-		p.M = metrics.MForCR(50, p.N)
+		p.M = metrics.MForCR(50, p.N) //csecg:host one-time configuration, not firmware arithmetic
 	}
 	if p.WaveletOrder == 0 {
 		p.WaveletOrder = DefaultWaveletOrder

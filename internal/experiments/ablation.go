@@ -138,7 +138,7 @@ func SolverAblation(opt Options) (*SolverAblationResult, error) {
 	for _, al := range algos {
 		var sum float64
 		var count int
-		start := time.Now()
+		start := time.Now() //csecg:nondet intentional wall-clock timing of the solver
 		for _, win := range wins {
 			x := make([]float64, n)
 			for i, v := range win {

@@ -29,7 +29,10 @@ const (
 )
 
 // FromFloat converts f (expected in [−1, 1)) to Q15, saturating on
-// overflow and rounding to nearest.
+// overflow and rounding to nearest. It is the host-side entry point for
+// preparing fixed-point constants; the firmware only ever sees the Q15.
+//
+//csecg:host float→Q15 conversion happens when building tables, off-device
 func FromFloat(f float64) Q15 {
 	v := f * (1 << 15)
 	if v >= 0 {
@@ -47,9 +50,13 @@ func FromFloat(f float64) Q15 {
 }
 
 // Float returns the real value represented by q.
+//
+//csecg:host decoder/test-side view of a Q15
 func (q Q15) Float() float64 { return float64(q) / (1 << 15) }
 
 // Float returns the real value represented by q.
+//
+//csecg:host decoder/test-side view of a Q31
 func (q Q31) Float() float64 { return float64(q) / (1 << 31) }
 
 // SatAdd returns a+b with saturation at the Q15 limits, mirroring the

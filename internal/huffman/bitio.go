@@ -27,6 +27,8 @@ func NewBitWriter() *BitWriter { return &BitWriter{} }
 
 // WriteBits appends the low `width` bits of code, most significant first.
 // width must be in [0, 32].
+//
+//csecg:hotpath the Huffman emit inner loop, one call per symbol
 func (w *BitWriter) WriteBits(code uint32, width uint) {
 	if width > 32 {
 		panic("huffman: WriteBits width > 32")
@@ -35,16 +37,18 @@ func (w *BitWriter) WriteBits(code uint32, width uint) {
 	w.nbit += width
 	for w.nbit >= 8 {
 		w.nbit -= 8
-		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+		w.buf = append(w.buf, byte(w.cur>>w.nbit)) //csecg:allocok amortized: buf is retained across Reset
 	}
 }
 
 // Bytes flushes any partial byte (zero-padded on the right) and returns
 // the accumulated buffer. The writer remains usable; subsequent writes
 // start on a byte boundary.
+//
+//csecg:hotpath closes each delta frame's bitstream
 func (w *BitWriter) Bytes() []byte {
 	if w.nbit > 0 {
-		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit))) //csecg:allocok amortized: buf is retained across Reset
 		w.cur, w.nbit = 0, 0
 	}
 	return w.buf

@@ -111,6 +111,8 @@ func (cb *Codebook) MaxLen() int {
 
 // Encode appends the codeword of symbol s to w. It returns an error if s
 // has no codeword.
+//
+//csecg:hotpath one table lookup per coded symbol
 func (cb *Codebook) Encode(w *BitWriter, s int) error {
 	if s < 0 || s >= len(cb.lengths) || cb.lengths[s] == 0 {
 		return fmt.Errorf("huffman: symbol %d not in codebook", s)
@@ -235,6 +237,8 @@ func Deserialize(data []byte) (*Codebook, error) {
 // ExpectedBits returns the average codeword length (in bits/symbol) under
 // the given frequency distribution, the quantity the offline training
 // minimizes.
+//
+//csecg:host training statistic, evaluated off-device
 func (cb *Codebook) ExpectedBits(freq []int) float64 {
 	var total, weighted int64
 	for s, f := range freq {

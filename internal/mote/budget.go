@@ -1,0 +1,43 @@
+package mote
+
+import "csecg/internal/core"
+
+// Static memory budget of the default firmware build, enforced at vet
+// time: the budget analyzer (internal/analysis, run by cmd/csecg-vet)
+// sums every constant marked //csecg:ram or //csecg:flash below and
+// fails if a ledger exceeds its budget constant. The ledger mirrors
+// MemoryFootprint() at the default configuration (N = 512, M = 256,
+// 4-slot retransmit ring); TestBudgetLedgerMatchesFootprint pins the
+// two together so neither can drift silently.
+//
+// The MSP430F1611 provides 10 kB RAM and 48 kB flash; the paper reports
+// the firmware using 6.5 kB RAM and 7.5 kB flash, ~1.5 kB of which is
+// the Huffman codebook. Our build adds the PR 1 retransmit ring on top
+// of the paper's baseline and must still clear the hardware limits.
+const (
+	// RAMBudget is the MSP430F1611 SRAM size.
+	RAMBudget = 10 * 1024
+	// FlashBudget is the MSP430F1611 flash size.
+	FlashBudget = 48 * 1024
+	// CodebookFlashBudget caps the serialized codebook at the paper's
+	// ≈1.5 kB figure: a 4-byte header, 2-byte codewords and 1-byte
+	// lengths for the 512-symbol difference alphabet.
+	CodebookFlashBudget = 4 + 3*core.NumDiffSymbols
+)
+
+// RAM ledger (bytes), one constant per MemoryFootprint component.
+const (
+	RAMSampleBuffers    = 2 * core.WindowSize * 2                     //csecg:ram ping-pong int16 sample windows
+	RAMMeasurementState = 2 * core.DefaultMeasurements * 2            //csecg:ram current+previous measurement vectors
+	RAMSymbolScratch    = core.DefaultMeasurements * 2                //csecg:ram difference/symbol scratch
+	RAMPacketBuffer     = 640                                         //csecg:ram one framed packet in flight
+	RAMRetransmitRing   = DefaultRetransmitRing * RetransmitSlotBytes //csecg:ram NACK retransmit ring (PR 1)
+	RAMBTStack          = 1536                                        //csecg:ram Bluetooth stack working set
+	RAMStackMisc        = 896                                         //csecg:ram call stack and globals
+)
+
+// Flash ledger (bytes).
+const (
+	FlashCode     = 6 * 1024                  //csecg:flash encoder stages plus drivers
+	FlashCodebook = 4 + 3*core.NumDiffSymbols //csecg:codebookflash serialized Huffman codebook
+)

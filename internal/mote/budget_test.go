@@ -1,0 +1,66 @@
+package mote
+
+import (
+	"testing"
+
+	"csecg/internal/core"
+	"csecg/internal/huffman"
+	"csecg/internal/metrics"
+)
+
+// TestBudgetLedgerMatchesFootprint pins the static //csecg:ram and
+// //csecg:flash ledger constants (summed at vet time by the budget
+// analyzer) to the runtime MemoryFootprint accounting at the default
+// configuration with the default retransmit ring — if either side
+// drifts, exactly one of the analyzer and this test would keep passing,
+// so they cover each other.
+func TestBudgetLedgerMatchesFootprint(t *testing.T) {
+	if got := metrics.MForCR(50, core.WindowSize); got != core.DefaultMeasurements {
+		t.Fatalf("core.DefaultMeasurements = %d, but MForCR(50, N) = %d", core.DefaultMeasurements, got)
+	}
+	m, err := New(core.Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableRetransmitBuffer(DefaultRetransmitRing); err != nil {
+		t.Fatal(err)
+	}
+	mem := m.MemoryFootprint()
+	ledger := map[string][2]int{
+		"SampleBuffers":    {RAMSampleBuffers, mem.SampleBuffers},
+		"MeasurementState": {RAMMeasurementState, mem.MeasurementState},
+		"SymbolScratch":    {RAMSymbolScratch, mem.SymbolScratch},
+		"PacketBuffer":     {RAMPacketBuffer, mem.PacketBuffer},
+		"RetransmitRing":   {RAMRetransmitRing, mem.RetransmitRing},
+		"BTStack":          {RAMBTStack, mem.BTStack},
+		"StackMisc":        {RAMStackMisc, mem.StackMisc},
+		"CodeFlash":        {FlashCode, mem.CodeFlash},
+		"CodebookFlash":    {FlashCodebook, mem.CodebookFlash},
+	}
+	for name, v := range ledger {
+		if v[0] != v[1] {
+			t.Errorf("%s: ledger constant %d B, footprint %d B", name, v[0], v[1])
+		}
+	}
+	ramSum := RAMSampleBuffers + RAMMeasurementState + RAMSymbolScratch +
+		RAMPacketBuffer + RAMRetransmitRing + RAMBTStack + RAMStackMisc
+	if ramSum != mem.RAMTotal() {
+		t.Errorf("RAM ledger sum %d B, RAMTotal %d B", ramSum, mem.RAMTotal())
+	}
+	if ramSum > RAMBudget {
+		t.Errorf("RAM ledger sum %d B exceeds RAMBudget %d B", ramSum, RAMBudget)
+	}
+	flashSum := FlashCode + FlashCodebook
+	if flashSum != mem.FlashTotal() {
+		t.Errorf("flash ledger sum %d B, FlashTotal %d B", flashSum, mem.FlashTotal())
+	}
+	if flashSum > FlashBudget {
+		t.Errorf("flash ledger sum %d B exceeds FlashBudget %d B", flashSum, FlashBudget)
+	}
+	if got := huffman.SerializedSize(core.NumDiffSymbols); FlashCodebook != got {
+		t.Errorf("FlashCodebook = %d B, huffman.SerializedSize = %d B", FlashCodebook, got)
+	}
+	if FlashCodebook > CodebookFlashBudget {
+		t.Errorf("codebook %d B exceeds CodebookFlashBudget %d B", FlashCodebook, CodebookFlashBudget)
+	}
+}

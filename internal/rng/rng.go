@@ -187,6 +187,7 @@ func (x *Xoshiro) SampleK(dst []int, k, n int) {
 		chosen[t] = struct{}{}
 	}
 	i := 0
+	//csecg:orderok dst is insertion-sorted below, erasing iteration order
 	for v := range chosen {
 		dst[i] = v
 		i++

@@ -1,3 +1,7 @@
+// Dense Gaussian/Bernoulli baselines exist only for the paper's Fig. 2
+// comparison and run host-side; the mote never materializes them.
+//csecg:host dense baselines are host-side reference models
+
 package sensing
 
 import (

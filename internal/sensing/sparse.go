@@ -27,7 +27,7 @@ type SparseBinary struct {
 	m, n, d int
 	// support[c*d ... c*d+d-1] are the ascending row indices of column c.
 	support []int32
-	scale   float64 // 1/√d
+	scale   float64 //csecg:host decoder-side 1/√d scale, never touched by the mote path
 }
 
 // NewSparseBinary builds an M×N sparse binary matrix with d ones per
@@ -38,6 +38,7 @@ func NewSparseBinary(m, n, d int, seed uint64) (*SparseBinary, error) {
 	if err := validateShape(m, n, d); err != nil {
 		return nil, err
 	}
+	//csecg:host the 1/√d scale is computed once for the decoder half
 	s := &SparseBinary{m: m, n: n, d: d, support: make([]int32, n*d), scale: 1 / math.Sqrt(float64(d))}
 	gen := rng.New(seed)
 	rows := make([]int, d)
@@ -57,6 +58,7 @@ func NewSparseBinaryLCG(m, n, d int, seed uint16) (*SparseBinary, error) {
 	if err := validateShape(m, n, d); err != nil {
 		return nil, err
 	}
+	//csecg:host the 1/√d scale is computed once for the decoder half
 	s := &SparseBinary{m: m, n: n, d: d, support: make([]int32, n*d), scale: 1 / math.Sqrt(float64(d))}
 	gen := rng.NewLCG16(seed)
 	rows := make([]int, d)
@@ -100,6 +102,8 @@ func (s *SparseBinary) Support(c int) []int32 {
 // i.e. dst[r] = Σ_{c: r ∈ supp(c)} x[c], using only integer additions —
 // the exact arithmetic the MSP430 encoder performs. The 1/√d scale is
 // deferred to the decoder. dst must have length M.
+//
+//csecg:hotpath the CS measurement stage, N·d integer adds per window
 func (s *SparseBinary) MeasureInt(dst []int32, x []int16) {
 	if len(dst) != s.m || len(x) != s.n {
 		panic("sensing: MeasureInt dimension mismatch")
@@ -121,6 +125,8 @@ func (s *SparseBinary) MeasureInt(dst []int32, x []int16) {
 // AddMeasureInt is the streaming form of MeasureInt: it accumulates the
 // contribution of a single sample x[c] into dst, letting the mote update
 // measurements as each ADC sample arrives instead of buffering a window.
+//
+//csecg:hotpath d integer adds per ADC sample, interrupt context
 func (s *SparseBinary) AddMeasureInt(dst []int32, c int, x int16) {
 	if len(dst) != s.m {
 		panic("sensing: AddMeasureInt dimension mismatch")
@@ -174,6 +180,8 @@ func Op[T linalg.Float](s *SparseBinary) linalg.Op[T] {
 // two distinct columns, the incoherence diagnostic that guided the
 // random support choice. Columns of a sparse binary matrix have unit
 // norm, so the inner product is |supp_i ∩ supp_j| / d.
+//
+//csecg:host offline incoherence diagnostic, not part of the mote path
 func (s *SparseBinary) MaxColumnCoherence() float64 {
 	// Build row → columns lists once; then count pairwise overlaps via
 	// shared rows. O(nnz · avg row degree).
@@ -193,6 +201,7 @@ func (s *SparseBinary) MaxColumnCoherence() float64 {
 		}
 	}
 	best := 0
+	//csecg:orderok max over all values, independent of iteration order
 	for _, v := range overlap {
 		if v > best {
 			best = v

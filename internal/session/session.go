@@ -97,7 +97,7 @@ func (e *Encoder) EncodeWindows(windows [][]int16) ([]*Frame, error) {
 		if err != nil {
 			return nil, fmt.Errorf("session: lead %d: %w", l, err)
 		}
-		frames[l] = &Frame{Lead: uint8(l), Packet: pkt}
+		frames[l] = &Frame{Lead: uint8(l), Packet: pkt.Clone()}
 	}
 	return frames, nil
 }

@@ -79,7 +79,7 @@ func ReadHeader(dir, name string) (*Header, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //csecg:errok close of a read-only file
 	sc := bufio.NewScanner(f)
 	var h Header
 	lineNo := 0
