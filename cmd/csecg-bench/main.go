@@ -9,6 +9,13 @@
 //	csecg-bench -exp lifetime -seconds 60
 //	csecg-bench -exp fig7 -format csv    # machine-readable output
 //
+// Observability:
+//
+//	csecg-bench -exp transport -trace out.json    # Chrome trace of every window
+//	csecg-bench -exp cpu -metrics metrics.prom    # Prometheus text dump
+//	csecg-bench -exp cpu -events events.jsonl     # JSONL event log
+//	csecg-bench -exp all -pprof cpu.pprof         # Go CPU profile of the run
+//
 // Paper experiments: fig2, fig6, fig7, encoder, memory, speedup, cpu,
 // lifetime, convergence. Extensions: resilience, transport, baseline,
 // analog, diagnostic, holter-report. Ablations: ablation-basis,
@@ -20,19 +27,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"csecg"
 	"csecg/internal/experiments"
 )
 
-func main() {
+// writeFile streams telemetry output to the named file ("-" → stdout).
+func writeFile(kind, path string, write func(w *os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-bench: %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		defer f.Close() //csecg:errok output file, write errors surface below
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-bench: %s: %v\n", kind, err)
+		os.Exit(1)
+	}
+}
+
+func main() { os.Exit(run()) }
+
+// run holds the real main so deferred telemetry/profile writers execute
+// before the process exits.
+func run() int {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment list or 'all'")
-		all48   = flag.Bool("all48", false, "use the full 48-record database (slow)")
-		seconds = flag.Float64("seconds", 0, "seconds of signal per record (default 24)")
-		records = flag.String("records", "", "comma-separated record IDs (overrides the default subset)")
-		format  = flag.String("format", "table", "output format: table or csv")
+		expFlag     = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		all48       = flag.Bool("all48", false, "use the full 48-record database (slow)")
+		seconds     = flag.Float64("seconds", 0, "seconds of signal per record (default 24)")
+		records     = flag.String("records", "", "comma-separated record IDs (overrides the default subset)")
+		format      = flag.String("format", "table", "output format: table or csv")
+		metricsFile = flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' for stdout)")
+		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON of every window lifecycle to this file")
+		eventsFile  = flag.String("events", "", "write the trace as a JSONL event log to this file")
+		pprofFile   = flag.String("pprof", "", "write a Go CPU profile of the run to this file")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -46,6 +81,27 @@ func main() {
 	}
 	if *records != "" {
 		opt.Records = strings.Split(*records, ",")
+	}
+	if *metricsFile != "" {
+		opt.Metrics = csecg.NewMetrics()
+	}
+	var tracer *csecg.Tracer
+	if *traceFile != "" || *eventsFile != "" {
+		tracer = csecg.NewTracer(nil)
+		opt.Trace = tracer
+	}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-bench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-bench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close() //csecg:errok profile file closed after StopCPUProfile
+		defer pprof.StopCPUProfile()
 	}
 
 	type runner struct {
@@ -240,5 +296,21 @@ func main() {
 			fmt.Printf("(%s took %.1fs)\n\n", r.name, time.Since(start).Seconds())
 		}
 	}
-	os.Exit(exit)
+
+	if opt.Metrics != nil {
+		writeFile("metrics", *metricsFile, func(w *os.File) error {
+			return csecg.WriteMetrics(w, opt.Metrics)
+		})
+	}
+	if tracer != nil && *traceFile != "" {
+		writeFile("trace", *traceFile, func(w *os.File) error {
+			return csecg.WriteChromeTrace(w, tracer)
+		})
+	}
+	if tracer != nil && *eventsFile != "" {
+		writeFile("events", *eventsFile, func(w *os.File) error {
+			return csecg.WriteTraceJSONL(w, tracer)
+		})
+	}
+	return exit
 }

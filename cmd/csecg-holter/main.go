@@ -7,24 +7,56 @@
 // Usage:
 //
 //	csecg-holter -record 202 -seconds 300 -cr 50
+//	csecg-holter -record 202 -trace out.json -metrics metrics.prom -pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"csecg"
 )
 
 func main() {
 	var (
-		record  = flag.String("record", "106", "substitute database record ID")
-		seconds = flag.Float64("seconds", 300, "seconds to analyze")
-		cr      = flag.Float64("cr", 50, "CS compression ratio")
-		seed    = flag.Uint("seed", 0x601, "sensing-matrix seed")
+		record      = flag.String("record", "106", "substitute database record ID")
+		seconds     = flag.Float64("seconds", 300, "seconds to analyze")
+		cr          = flag.Float64("cr", 50, "CS compression ratio")
+		seed        = flag.Uint("seed", 0x601, "sensing-matrix seed")
+		metricsFile = flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' for stdout)")
+		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON of the analysis to this file")
+		eventsFile  = flag.String("events", "", "write the trace as a JSONL event log to this file")
+		pprofFile   = flag.String("pprof", "", "write a Go CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close() //csecg:errok profile file closed after StopCPUProfile
+		defer pprof.StopCPUProfile()
+	}
+	var reg *csecg.Metrics
+	if *metricsFile != "" {
+		reg = csecg.NewMetrics()
+	}
+	var tr *csecg.Tracer
+	var pidEnc, pidDec int64
+	if *traceFile != "" || *eventsFile != "" {
+		tr = csecg.NewTracer(nil)
+		s := tr.NewSession("holter record " + *record)
+		pidEnc, pidDec = s.Mote, s.Coordinator
+		tr.ThreadName(pidEnc, 1, "encode")
+		tr.ThreadName(pidDec, 1, "decode")
+	}
 
 	rec, err := csecg.RecordByID(*record)
 	if err != nil {
@@ -46,13 +78,34 @@ func main() {
 	var orig, recon []float64
 	for o := 0; o+csecg.WindowSize <= len(adc); o += csecg.WindowSize {
 		win := adc[o : o+csecg.WindowSize]
+		var encEnd, decEnd func(args ...csecg.TraceArg)
+		encStart := time.Now()
+		if tr != nil {
+			encEnd = tr.Begin(pidEnc, 1, "encode", "holter")
+		}
 		pkt, err := enc.EncodeWindow(win)
 		if err != nil {
 			fail(err)
 		}
+		if encEnd != nil {
+			encEnd(csecg.TraceI("seq", int64(pkt.Seq)), csecg.TraceI("bytes", int64(pkt.WireSize())))
+		}
+		decStart := time.Now()
+		if tr != nil {
+			decEnd = tr.Begin(pidDec, 1, "decode", "holter")
+		}
 		out, err := dec.DecodePacket(pkt)
 		if err != nil {
 			fail(err)
+		}
+		if decEnd != nil {
+			decEnd(csecg.TraceI("seq", int64(pkt.Seq)), csecg.TraceI("iterations", int64(out.Iterations)))
+		}
+		if reg != nil {
+			reg.Counter("holter_windows_total").Inc()
+			reg.Histogram("holter_encode_wall_ns").Observe(decStart.Sub(encStart).Nanoseconds())
+			reg.Histogram("holter_decode_wall_ns").Observe(time.Since(decStart).Nanoseconds())
+			reg.Histogram("holter_iterations").Observe(int64(out.Iterations))
 		}
 		for i := range win {
 			orig = append(orig, float64(win[i]))
@@ -122,6 +175,32 @@ func main() {
 		fmt.Printf("\nRHYTHM: predominantly sinus\n")
 	}
 	fmt.Printf("report-level deviation: %.1f%%\n", csecg.CompareHolterReports(refRep, gotRep)*100)
+
+	if reg != nil {
+		writeOut(*metricsFile, func(f *os.File) error { return csecg.WriteMetrics(f, reg) })
+	}
+	if tr != nil && *traceFile != "" {
+		writeOut(*traceFile, func(f *os.File) error { return csecg.WriteChromeTrace(f, tr) })
+	}
+	if tr != nil && *eventsFile != "" {
+		writeOut(*eventsFile, func(f *os.File) error { return csecg.WriteTraceJSONL(f, tr) })
+	}
+}
+
+// writeOut streams one telemetry export to the named file ("-" → stdout).
+func writeOut(path string, write func(f *os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close() //csecg:errok output file, write errors surface below
+	}
+	if err := write(f); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

@@ -28,6 +28,8 @@
 package csecg
 
 import (
+	"io"
+
 	"csecg/internal/coordinator"
 	"csecg/internal/core"
 	"csecg/internal/ecg"
@@ -36,6 +38,7 @@ import (
 	"csecg/internal/link"
 	"csecg/internal/metrics"
 	"csecg/internal/mote"
+	"csecg/internal/telemetry"
 )
 
 // Pipeline constants (see the paper, Section IV).
@@ -208,3 +211,66 @@ func DefaultLinkConfig() LinkConfig { return link.DefaultConfig() }
 
 // DefaultEnergyBudget returns Shimmer-class battery constants.
 func DefaultEnergyBudget() EnergyBudget { return energy.DefaultBudget() }
+
+// Observability: zero-alloc integer counters and histograms, the
+// window-lifecycle tracer, and the three export formats (Prometheus
+// text, JSONL event log, Chrome trace_event JSON).
+type (
+	// Metrics is a registry of integer-only counters, gauges and
+	// log-bucketed histograms; recording is lock- and allocation-free.
+	Metrics = telemetry.Registry
+	// Tracer collects window-lifecycle trace events.
+	Tracer = telemetry.Tracer
+	// TraceEvent is one trace record (span, instant, counter or
+	// metadata).
+	TraceEvent = telemetry.Event
+	// TraceArg is one key/value annotation on a trace event.
+	TraceArg = telemetry.Arg
+	// TelemetrySummary condenses a histogram: count, sum, max and the
+	// interpolated p50/p95/p99.
+	TelemetrySummary = telemetry.Summary
+	// Clock supplies injectable nanosecond timestamps; all telemetry
+	// timing goes through it so tests get bit-identical traces.
+	Clock = telemetry.Clock
+	// ManualClock is a settable test Clock.
+	ManualClock = telemetry.ManualClock
+)
+
+// NewMetrics builds an empty telemetry registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// NewTracer builds a tracer on the given clock (nil → wall clock).
+func NewTracer(c Clock) *Tracer { return telemetry.NewTracer(c) }
+
+// NewManualClock returns a manual clock starting at the given tick.
+func NewManualClock(start int64) *ManualClock { return telemetry.NewManualClock(start) }
+
+// TraceI builds an integer trace-event argument.
+func TraceI(key string, v int64) TraceArg { return telemetry.I(key, v) }
+
+// TraceS builds a string trace-event argument.
+func TraceS(key, v string) TraceArg { return telemetry.S(key, v) }
+
+// TraceF builds a float trace-event argument (host-side only).
+func TraceF(key string, v float64) TraceArg { return telemetry.F(key, v) }
+
+// WriteMetrics dumps a registry in the Prometheus text format.
+func WriteMetrics(w io.Writer, m *Metrics) error { return telemetry.WritePrometheus(w, m) }
+
+// WriteChromeTrace renders a tracer's events as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return telemetry.WriteChromeTrace(w, t.Events())
+}
+
+// WriteTraceJSONL streams a tracer's events as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, t *Tracer) error {
+	return telemetry.WriteJSONL(w, t.Events())
+}
+
+// ReadTraceJSONL parses an event log written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJSONL(r) }
+
+// PipelineStages lists the per-window lifecycle stage names in pipeline
+// order (sample … reconstruct), the keys of StreamReport.Stages.
+func PipelineStages() []string { return telemetry.Stages() }

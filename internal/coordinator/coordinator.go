@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"csecg/internal/core"
+	"csecg/internal/solver"
+	"csecg/internal/telemetry"
 )
 
 // ClockHz is the Cortex-A8 clock of the iPhone 3GS.
@@ -150,6 +152,18 @@ type RealTimeDecoder struct {
 
 	totalModeled time.Duration
 	packets      int64
+
+	met       *decoderMetrics
+	clock     telemetry.Clock
+	iterTrace bool
+	curTrace  []solver.IterSample
+}
+
+// decoderMetrics caches the telemetry pointers the decode path records
+// into.
+type decoderMetrics struct {
+	decodes, failures, deadlineMisses  *telemetry.Counter
+	iterations, modeledNs, solveWallNs *telemetry.Histogram
 }
 
 // NewRealTimeDecoder builds the platform decoder. The NEON mode uses the
@@ -164,6 +178,38 @@ func NewRealTimeDecoder(p core.Params, mode Mode) (*RealTimeDecoder, error) {
 	dec.SolverOptions.Vectorized = mode == NEON
 	dec.SolverOptions.MaxIter = costs.IterationBudget(dec.Params(), mode, RealTimeBudgetSeconds)
 	return &RealTimeDecoder{dec: dec, costs: costs, mode: mode}, nil
+}
+
+// Instrument attaches session telemetry. The clock times the actual
+// host-side solve (nil → telemetry.WallClock); inject a ManualClock for
+// reproducible tests. A nil registry detaches.
+func (r *RealTimeDecoder) Instrument(reg *telemetry.Registry, clock telemetry.Clock) {
+	if reg == nil {
+		r.met = nil
+		return
+	}
+	if clock == nil {
+		clock = telemetry.WallClock{}
+	}
+	r.clock = clock
+	r.met = &decoderMetrics{
+		decodes:        reg.Counter("coordinator_decodes_total"),
+		failures:       reg.Counter("coordinator_decode_failures_total"),
+		deadlineMisses: reg.Counter("coordinator_deadline_misses_total"),
+		iterations:     reg.Histogram("coordinator_iterations"),
+		modeledNs:      reg.Histogram("coordinator_decode_modeled_ns"),
+		solveWallNs:    reg.Histogram("coordinator_solve_wall_ns"),
+	}
+}
+
+// EnableIterationTrace makes every decode collect the solver's
+// per-iteration telemetry (objective, residual, step) into
+// Result.IterTrace. It costs one extra operator apply per iteration.
+func (r *RealTimeDecoder) EnableIterationTrace() {
+	r.iterTrace = true
+	r.dec.SolverOptions.Trace = func(iter int, s solver.IterSample) {
+		r.curTrace = append(r.curTrace, s)
+	}
 }
 
 // Params returns the resolved pipeline parameters.
@@ -184,24 +230,58 @@ type Result struct {
 	CPUUsage float64
 	// Deadline reports whether the decode met the 1-second budget.
 	Deadline bool
+	// SolveWallTime is the measured host-side solve duration on the
+	// instrumented clock (0 when the decoder is not instrumented).
+	SolveWallTime time.Duration
+	// IterTrace carries the solver's per-iteration telemetry when
+	// EnableIterationTrace was called.
+	IterTrace []solver.IterSample
 }
 
 // Decode processes one packet.
 func (r *RealTimeDecoder) Decode(pkt *core.Packet) (*Result, error) {
+	if r.iterTrace {
+		r.curTrace = r.curTrace[:0]
+	}
+	var start int64
+	if r.met != nil {
+		start = r.clock.Now()
+	}
 	res, err := r.dec.DecodePacket(pkt)
+	var wall time.Duration
+	if r.met != nil {
+		wall = time.Duration(r.clock.Now() - start)
+	}
 	if err != nil {
+		if r.met != nil {
+			r.met.failures.Inc()
+		}
 		return nil, err
 	}
 	modeled := r.costs.DecodeTime(r.dec.Params(), r.mode, res.Iterations)
 	r.totalModeled += modeled
 	r.packets++
 	period := float64(r.dec.Params().N) / core.FsMote
-	return &Result{
-		DecodeResult: res,
-		ModeledTime:  modeled,
-		CPUUsage:     modeled.Seconds() / period,
-		Deadline:     modeled.Seconds() <= RealTimeBudgetSeconds,
-	}, nil
+	out := &Result{
+		DecodeResult:  res,
+		ModeledTime:   modeled,
+		CPUUsage:      modeled.Seconds() / period,
+		Deadline:      modeled.Seconds() <= RealTimeBudgetSeconds,
+		SolveWallTime: wall,
+	}
+	if r.iterTrace && len(r.curTrace) > 0 {
+		out.IterTrace = append([]solver.IterSample(nil), r.curTrace...)
+	}
+	if r.met != nil {
+		r.met.decodes.Inc()
+		if !out.Deadline {
+			r.met.deadlineMisses.Inc()
+		}
+		r.met.iterations.Observe(int64(res.Iterations))
+		r.met.modeledNs.Observe(int64(modeled))
+		r.met.solveWallNs.Observe(int64(wall))
+	}
+	return out, nil
 }
 
 // AverageCPUUsage returns the mean modeled CPU share across all decoded

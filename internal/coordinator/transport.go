@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"csecg/internal/core"
+	"csecg/internal/telemetry"
 )
 
 // TransportConfig tunes the coordinator's fault-tolerant receive path.
@@ -129,6 +130,15 @@ type Receiver struct {
 	outage   int // current run of undecoded windows
 
 	stats TransportStats
+	met   *transportMetrics
+}
+
+// transportMetrics caches the telemetry pointers the receive path
+// records into.
+type transportMetrics struct {
+	received, decoded, duplicates, failures *telemetry.Counter
+	gaps, nacks, keyRequests, abandoned     *telemetry.Counter
+	recoverySlots                           *telemetry.Histogram
 }
 
 // NewReceiver builds a receiver around the platform decoder.
@@ -137,6 +147,27 @@ func NewReceiver(dec *RealTimeDecoder, cfg TransportConfig) *Receiver {
 		dec: dec,
 		cfg: cfg.withDefaults(),
 		buf: map[uint32]*core.Packet{},
+	}
+}
+
+// Instrument attaches session telemetry: the transport counters and
+// the gap-recovery latency histogram (in window slots). A nil registry
+// detaches.
+func (r *Receiver) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		r.met = nil
+		return
+	}
+	r.met = &transportMetrics{
+		received:      reg.Counter("transport_received_total"),
+		decoded:       reg.Counter("transport_decoded_total"),
+		duplicates:    reg.Counter("transport_duplicates_total"),
+		failures:      reg.Counter("transport_decode_failures_total"),
+		gaps:          reg.Counter("transport_gaps_total"),
+		nacks:         reg.Counter("transport_nacks_sent_total"),
+		keyRequests:   reg.Counter("transport_key_requests_sent_total"),
+		abandoned:     reg.Counter("transport_abandoned_total"),
+		recoverySlots: reg.Histogram("transport_recovery_slots"),
 	}
 }
 
@@ -158,16 +189,19 @@ func (r *Receiver) Push(pkt *core.Packet) ([]Decoded, error) {
 		return nil, fmt.Errorf("coordinator: control packet kind %d on the downlink", pkt.Kind)
 	}
 	r.stats.Received++
+	if r.met != nil {
+		r.met.received.Inc()
+	}
 	if pkt.Seq > r.maxSeen || !r.anySeen {
 		r.maxSeen = pkt.Seq
 		r.anySeen = true
 	}
 	if pkt.Seq < r.expected {
-		r.stats.Duplicates++
+		r.countDuplicate()
 		return nil, nil
 	}
 	if _, dup := r.buf[pkt.Seq]; dup {
-		r.stats.Duplicates++
+		r.countDuplicate()
 		return nil, nil
 	}
 	if pkt.Seq != r.expected {
@@ -200,10 +234,16 @@ func (r *Receiver) drain() []Decoded {
 			// behind an abandoned gap (desynchronized until the next
 			// key frame). The window is lost.
 			r.stats.DecodeFailures++
+			if r.met != nil {
+				r.met.failures.Inc()
+			}
 			r.bumpOutage(1)
 			continue
 		}
 		r.stats.Decoded++
+		if r.met != nil {
+			r.met.decoded.Inc()
+		}
 		r.outage = 0
 		if res.Resynced {
 			r.stats.Resyncs++
@@ -212,6 +252,14 @@ func (r *Receiver) drain() []Decoded {
 	}
 	r.closeGapIfCaughtUp()
 	return out
+}
+
+// countDuplicate records one suppressed duplicate arrival.
+func (r *Receiver) countDuplicate() {
+	r.stats.Duplicates++
+	if r.met != nil {
+		r.met.duplicates.Inc()
+	}
 }
 
 // bumpOutage extends the current undecoded run by n windows.
@@ -230,6 +278,9 @@ func (r *Receiver) closeGapIfCaughtUp() {
 	}
 	if len(r.buf) == 0 && int(r.expected) >= r.slot {
 		r.stats.RecoveryWindows = append(r.stats.RecoveryWindows, r.slot-r.gap.openedSlot+1)
+		if r.met != nil {
+			r.met.recoverySlots.Observe(int64(r.slot - r.gap.openedSlot + 1))
+		}
 		r.gap = nil
 	}
 }
@@ -244,6 +295,9 @@ func (r *Receiver) abandonTo(to uint32) []Decoded {
 	}
 	n := int(to - r.expected)
 	r.stats.Abandoned += n
+	if r.met != nil {
+		r.met.abandoned.Add(int64(n))
+	}
 	r.bumpOutage(n)
 	r.expected = to
 	// Drop buffered packets the jump overtook (deltas parked behind the
@@ -304,6 +358,9 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 			backoff:    r.cfg.BackoffWindows,
 		}
 		r.stats.Gaps++
+		if r.met != nil {
+			r.met.gaps.Inc()
+		}
 	}
 	g := r.gap
 	if !r.cfg.NACK {
@@ -335,6 +392,9 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		g.nextRetry = r.slot + g.backoff
 		g.backoff *= 2
 		r.stats.NacksSent++
+		if r.met != nil {
+			r.met.nacks.Inc()
+		}
 		return []*core.Packet{core.NewNack(r.expected, r.missingCount())}, nil
 	}
 	if g.keyRetries < r.cfg.MaxRetries {
@@ -342,6 +402,9 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		g.nextRetry = r.slot + g.backoff
 		g.backoff *= 2
 		r.stats.KeyRequestsSent++
+		if r.met != nil {
+			r.met.keyRequests.Inc()
+		}
 		return []*core.Packet{core.NewKeyRequest(r.expected)}, nil
 	}
 	// Both request ladders exhausted (the control channel itself is
@@ -385,6 +448,9 @@ func (r *Receiver) Close() []Decoded {
 	if int(r.expected) < r.slot {
 		n := r.slot - int(r.expected)
 		r.stats.Abandoned += n
+		if r.met != nil {
+			r.met.abandoned.Add(int64(n))
+		}
 		r.bumpOutage(n)
 		r.expected = uint32(r.slot)
 	}

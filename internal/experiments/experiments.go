@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"csecg"
 	"csecg/internal/ecg"
 )
 
@@ -97,6 +98,13 @@ type Options struct {
 	Records []string
 	// SecondsPerRecord of signal per record (0 → 24 s = 12 windows).
 	SecondsPerRecord float64
+	// Metrics, when non-nil, attaches every streaming session the
+	// experiment runs to the registry (csecg-bench -metrics).
+	Metrics *csecg.Metrics
+	// Trace, when non-nil, records window-lifecycle spans for every
+	// streaming session (csecg-bench -trace/-events); each session gets
+	// its own labeled track group.
+	Trace *csecg.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -73,13 +73,16 @@ func Transport(opt Options) (*TransportResult, error) {
 			cfg.Link.Seed = 0xC4A7
 			cfg.Transport = csecg.TransportConfig{NACK: nack}
 			cfg.RetransmitRing = mote.DefaultRetransmitRing
-			rep, err := csecg.RunStream(cfg)
-			if err != nil {
-				return nil, err
-			}
 			mode := "wait-for-key"
 			if nack {
 				mode = "nack"
+			}
+			cfg.Metrics = opt.Metrics
+			cfg.Trace = opt.Trace
+			cfg.TraceLabel = fmt.Sprintf("transport %s, %.1f%% loss", mode, b.StationaryLoss()*100)
+			rep, err := csecg.RunStream(cfg)
+			if err != nil {
+				return nil, err
 			}
 			res.Rows = append(res.Rows, TransportRow{
 				MeanLossPct:   b.StationaryLoss() * 100,

@@ -18,6 +18,7 @@ import (
 
 	"csecg/internal/core"
 	"csecg/internal/rng"
+	"csecg/internal/telemetry"
 )
 
 // BurstConfig parameterizes the Gilbert–Elliott two-state burst-loss
@@ -126,6 +127,16 @@ type Link struct {
 	bytesOnAir               int64
 	airtime                  time.Duration
 	jitterTotal, jitterMax   time.Duration
+
+	met *linkMetrics
+}
+
+// linkMetrics caches the telemetry pointers the transmit path records
+// into, resolved once at Instrument time.
+type linkMetrics struct {
+	sent, dropped, corrupted, bytesOnAir *telemetry.Counter
+	airtimeNs                            *telemetry.Counter
+	frameAirtimeNs                       *telemetry.Histogram
 }
 
 // New builds a link. It returns an error for a non-positive bitrate or
@@ -154,6 +165,27 @@ func New(cfg Config) (*Link, error) {
 		l.hasBurst = true
 	}
 	return l, nil
+}
+
+// Instrument attaches session telemetry under the given metric-name
+// prefix (e.g. "link" or "ctrl", so the data downlink and the control
+// uplink stay distinguishable). A nil registry detaches.
+func (l *Link) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		l.met = nil
+		return
+	}
+	if prefix == "" {
+		prefix = "link"
+	}
+	l.met = &linkMetrics{
+		sent:           reg.Counter(prefix + "_sent_total"),
+		dropped:        reg.Counter(prefix + "_dropped_total"),
+		corrupted:      reg.Counter(prefix + "_corrupted_total"),
+		bytesOnAir:     reg.Counter(prefix + "_bytes_on_air_total"),
+		airtimeNs:      reg.Counter(prefix + "_airtime_ns_total"),
+		frameAirtimeNs: reg.Histogram(prefix + "_frame_airtime_ns"),
+	}
 }
 
 // Airtime returns the modeled on-air duration of a payload of n bytes.
@@ -198,8 +230,17 @@ func (l *Link) TransmitMulti(frame []byte) ([][]byte, time.Duration) {
 	l.sent++
 	l.bytesOnAir += int64(len(frame) + l.cfg.OverheadBytes)
 	l.airtime += at
+	if l.met != nil {
+		l.met.sent.Inc()
+		l.met.bytesOnAir.Add(int64(len(frame) + l.cfg.OverheadBytes))
+		l.met.airtimeNs.Add(int64(at))
+		l.met.frameAirtimeNs.Observe(int64(at))
+	}
 	if l.lose() {
 		l.dropped++
+		if l.met != nil {
+			l.met.dropped.Inc()
+		}
 		return nil, at
 	}
 	out := append([]byte(nil), frame...)
@@ -213,6 +254,9 @@ func (l *Link) TransmitMulti(frame []byte) ([][]byte, time.Duration) {
 		}
 		if flipped {
 			l.corrupted++
+			if l.met != nil {
+				l.met.corrupted.Inc()
+			}
 		}
 	}
 	if l.cfg.JitterMax > 0 {

@@ -16,6 +16,7 @@ import (
 
 	"csecg/internal/core"
 	"csecg/internal/huffman"
+	"csecg/internal/telemetry"
 )
 
 // ClockHz is the MSP430F1611 system clock of the Shimmer mainboard.
@@ -75,6 +76,15 @@ const RetransmitSlotBytes = 640
 // footprint inside the MSP430F1611's 10 kB RAM (see MemoryFootprint).
 const DefaultRetransmitRing = 4
 
+// moteMetrics caches the telemetry pointers the encoder records into,
+// resolved once at Instrument time so the encode path stays lock-free.
+// All recorded values are raw integers (cycles, bytes, counts) — float
+// conversion is host-side, keeping the calls nofpu-clean.
+type moteMetrics struct {
+	windows, keyFrames, retransmits, txBytes        *telemetry.Counter
+	encodeCycles, measureCycles, wireBytesPerWindow *telemetry.Histogram
+}
+
 // Model is an instrumented encoder: it runs the real core.Encoder and
 // reports modeled MSP430 cycle counts alongside each packet.
 type Model struct {
@@ -88,6 +98,8 @@ type Model struct {
 
 	totalCycles  int64
 	totalWindows int64
+
+	met *moteMetrics
 }
 
 // New builds a mote model around the given pipeline parameters.
@@ -101,6 +113,24 @@ func New(p core.Params) (*Model, error) {
 
 // SetCosts overrides the cycle-cost calibration.
 func (m *Model) SetCosts(c Costs) { m.costs = c }
+
+// Instrument attaches session telemetry: encode-side counters and
+// cycle histograms recorded on every window. A nil registry detaches.
+func (m *Model) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	m.met = &moteMetrics{
+		windows:            reg.Counter("mote_windows_total"),
+		keyFrames:          reg.Counter("mote_keyframes_total"),
+		retransmits:        reg.Counter("mote_retransmits_total"),
+		txBytes:            reg.Counter("mote_tx_bytes_total"),
+		encodeCycles:       reg.Histogram("mote_encode_cycles"),
+		measureCycles:      reg.Histogram("mote_measure_cycles"),
+		wireBytesPerWindow: reg.Histogram("mote_wire_bytes_per_window"),
+	}
+}
 
 // Params returns the resolved pipeline parameters.
 func (m *Model) Params() core.Params { return m.enc.Params() }
@@ -143,6 +173,10 @@ func (m *Model) Retransmit(seq uint32) (*core.Packet, bool) {
 	}
 	m.retransmits++
 	m.totalCycles += int64(p.WireSize()) * m.costs.PacketPerByte
+	if m.met != nil {
+		m.met.retransmits.Inc()
+		m.met.txBytes.Add(int64(p.WireSize()))
+	}
 	return p, true
 }
 
@@ -195,6 +229,16 @@ func (m *Model) EncodeWindow(window []int16) (*Report, error) {
 	r.TotalCycles = r.MeasureCycles + r.ShiftCycles + r.DiffCycles + r.EntropyCycles + r.FramingCycles
 	if len(m.ring) > 0 {
 		m.ring[int(pkt.Seq)%len(m.ring)] = pkt
+	}
+	if m.met != nil {
+		m.met.windows.Inc()
+		if pkt.Kind == core.KindKey {
+			m.met.keyFrames.Inc()
+		}
+		m.met.txBytes.Add(int64(pkt.WireSize()))
+		m.met.encodeCycles.Observe(r.TotalCycles)
+		m.met.measureCycles.Observe(r.MeasureCycles + r.ShiftCycles)
+		m.met.wireBytesPerWindow.Observe(int64(pkt.WireSize()))
 	}
 	r.EncodeTime = time.Duration(float64(r.TotalCycles) / ClockHz * float64(time.Second)) //csecg:host cycle→time accounting
 	window2s := float64(p.N) / core.FsMote                                                //csecg:host cycle→time accounting

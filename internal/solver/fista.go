@@ -56,6 +56,23 @@ type Options[T linalg.Float] struct {
 	// objective value F(α_k). Computing F costs one extra A·α per
 	// iteration, so leave nil in production.
 	Monitor func(iter int, objective T)
+	// Trace, when non-nil, receives the full per-iteration telemetry
+	// sample: objective, residual norm and step norm. Like Monitor it
+	// costs one extra operator apply per iteration (for the objective),
+	// so enable it only in instrumented runs.
+	Trace func(iter int, s IterSample)
+}
+
+// IterSample is one iteration's solver telemetry, as recorded by the
+// Options.Trace hook and surfaced in window traces.
+type IterSample struct {
+	// Objective is F(α_k) = ‖Aα_k − y‖₂² + λ‖α_k‖₁.
+	Objective float64
+	// Residual is ‖Ay_k − y‖₂ evaluated at the gradient point of the
+	// iteration (the momentum point for FISTA, α_{k−1} for ISTA).
+	Residual float64
+	// Step is ‖α_k − α_{k−1}‖₂, the quantity the stopping rule tests.
+	Step float64
 }
 
 // Result reports a solver run.
@@ -99,6 +116,12 @@ func FISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], er
 	for k := 1; k <= opt.MaxIter; k++ {
 		// α_k = prox_{λ/L}(y_k − (1/L)∇f(y_k)), Eq. (4).
 		st.gradient(grad, yk)
+		var residual T
+		if opt.Trace != nil {
+			// st.r still holds Ay_k − y from the gradient evaluation;
+			// read it before the objective computation reuses the buffer.
+			residual = linalg.Norm2(st.r)
+		}
 		step := 1 / opt.Lipschitz
 		if st.vec {
 			linalg.Axpy4(-step, grad, yk)
@@ -122,6 +145,13 @@ func FISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], er
 		res.Iterations = k
 		if opt.Monitor != nil {
 			opt.Monitor(k, st.objective(alpha, opt.Lambda))
+		}
+		if opt.Trace != nil {
+			opt.Trace(k, IterSample{
+				Objective: float64(st.objective(alpha, opt.Lambda)),
+				Residual:  float64(residual),
+				Step:      float64(stepNorm(alpha, alphaPrev)),
+			})
 		}
 		if st.converged(alpha, alphaPrev, opt.Tol) {
 			res.Converged = true
@@ -161,6 +191,10 @@ func ISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 	for k := 1; k <= opt.MaxIter; k++ {
 		copy(prev, alpha)
 		st.gradient(grad, alpha)
+		var residual T
+		if opt.Trace != nil {
+			residual = linalg.Norm2(st.r)
+		}
 		step := 1 / opt.Lipschitz
 		if st.vec {
 			linalg.Axpy4(-step, grad, alpha)
@@ -172,6 +206,13 @@ func ISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 		res.Iterations = k
 		if opt.Monitor != nil {
 			opt.Monitor(k, st.objective(alpha, opt.Lambda))
+		}
+		if opt.Trace != nil {
+			opt.Trace(k, IterSample{
+				Objective: float64(st.objective(alpha, opt.Lambda)),
+				Residual:  float64(residual),
+				Step:      float64(stepNorm(alpha, prev)),
+			})
 		}
 		if st.converged(alpha, prev, opt.Tol) {
 			res.Converged = true
@@ -243,6 +284,17 @@ func (st *state[T]) objective(x []T, lambda T) T {
 	linalg.Sub(st.r, st.r, st.y)
 	n2 := linalg.Norm2(st.r)
 	return n2*n2 + lambda*linalg.Norm1(x)
+}
+
+// stepNorm computes ‖cur − prev‖₂ without scratch allocation (it runs
+// once per traced iteration).
+func stepNorm[T linalg.Float](cur, prev []T) T {
+	var s float64
+	for i := range cur {
+		d := float64(cur[i] - prev[i])
+		s += d * d
+	}
+	return T(math.Sqrt(s))
 }
 
 func (st *state[T]) converged(cur, prev []T, tol float64) bool {

@@ -1,0 +1,81 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+func finiteSamples(t *testing.T, samples []IterSample) {
+	t.Helper()
+	for i, s := range samples {
+		if math.IsNaN(s.Objective) || math.IsInf(s.Objective, 0) {
+			t.Fatalf("iteration %d: objective %v not finite", i, s.Objective)
+		}
+		if s.Residual < 0 || math.IsNaN(s.Residual) || math.IsInf(s.Residual, 0) {
+			t.Fatalf("iteration %d: residual %v invalid", i, s.Residual)
+		}
+		if s.Step < 0 || math.IsNaN(s.Step) {
+			t.Fatalf("iteration %d: step %v invalid", i, s.Step)
+		}
+	}
+}
+
+func TestFISTATraceObservesEveryIteration(t *testing.T) {
+	op, y, _ := sparseProblem(128, 256, 8, 3)
+	opts := Options[float64]{MaxIter: 400, Tol: 1e-9, Lambda: 1e-4}
+
+	base, err := FISTA(op, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples []IterSample
+	opts.Trace = func(iter int, s IterSample) {
+		if iter != len(samples)+1 {
+			t.Fatalf("trace iteration %d out of order (have %d samples)", iter, len(samples))
+		}
+		samples = append(samples, s)
+	}
+	traced, err := FISTA(op, y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(samples) != traced.Iterations {
+		t.Errorf("trace fired %d times, solver ran %d iterations", len(samples), traced.Iterations)
+	}
+	finiteSamples(t, samples)
+	// The residual must end far below where it starts on a recoverable
+	// problem.
+	first, last := samples[0].Residual, samples[len(samples)-1].Residual
+	if last > first/10 {
+		t.Errorf("residual barely moved: %v → %v", first, last)
+	}
+	// Tracing is observation only — the iterate sequence must be
+	// bit-identical with and without it.
+	if traced.Iterations != base.Iterations {
+		t.Errorf("trace changed iteration count: %d vs %d", traced.Iterations, base.Iterations)
+	}
+	for i := range base.X {
+		if traced.X[i] != base.X[i] {
+			t.Fatalf("trace perturbed the solution at coefficient %d: %v vs %v",
+				i, traced.X[i], base.X[i])
+		}
+	}
+}
+
+func TestISTATraceObservesEveryIteration(t *testing.T) {
+	op, y, _ := sparseProblem(96, 192, 6, 4)
+	var samples []IterSample
+	res, err := ISTA(op, y, Options[float64]{
+		MaxIter: 200, Tol: 1e-9, Lambda: 1e-3,
+		Trace: func(iter int, s IterSample) { samples = append(samples, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != res.Iterations {
+		t.Errorf("trace fired %d times, solver ran %d iterations", len(samples), res.Iterations)
+	}
+	finiteSamples(t, samples)
+}

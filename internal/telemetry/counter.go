@@ -1,0 +1,48 @@
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing integer metric. Recording is a
+// single atomic add: no locks, no allocation, no floating point — safe
+// to call from device-side hotpaths and from concurrent goroutines.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+//
+//csecg:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+//
+//csecg:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a last-value integer metric with a high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current value, updating the high-water mark.
+//
+//csecg:hotpath
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Load returns the last recorded value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureTrace records a miniature window lifecycle on a manual clock —
+// every event kind the exporters must render, at fixed ticks.
+func fixtureTrace() *Tracer {
+	clk := NewManualClock(0)
+	tr := NewTracer(clk)
+	s := tr.NewSession("record 100")
+	tr.ThreadName(s.Mote, 1, "acquire")
+	tr.ThreadName(s.Coordinator, 3, "decode")
+	tr.Span(s.Mote, 1, StageSample, CatWindow, 0, 2_000_000_000, I("seq", 0))
+	tr.Span(s.Mote, 2, StageHuffman, CatWindow, 2_000_000_000, 517_250, I("bytes", 203))
+	tr.Span(s.Link, 1, StageTX, CatWindow, 2_000_517_250, 19_288_888, I("bytes", 217))
+	tr.Instant(s.Link, 1, EventLoss, CatWindow, 2_010_000_000, I("seq", 1))
+	tr.Counter(s.Coordinator, "fista residual", 2_100_000_000, F("value", 0.125))
+	clk.Set(2_500_000_000)
+	end := tr.Begin(s.Coordinator, 3, StageFISTA, CatWindow)
+	clk.Advance(343_000_000)
+	end(I("iterations", 211), S("mode", "neon"))
+	return tr
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace output drifted from golden file.\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Nanosecond ticks must render as microseconds with the remainder
+	// kept: 517250 ns → 517.250 µs.
+	for _, frag := range []string{
+		`"displayTimeUnit":"ms"`,
+		`"dur":517.250`,
+		`"ph":"X"`, `"ph":"i"`, `"ph":"C"`, `"ph":"M"`,
+		`"s":"t"`,
+		`"name":"record 100 — mote"`,
+		`"args":{"iterations":211,"mode":"neon"}`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace output missing %s", frag)
+		}
+	}
+	// Spans carry dur; instants must not.
+	if strings.Contains(out, `"ph":"i","ts":2010000.000,"dur"`) {
+		t.Error("instant event must not carry a duration")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := fixtureTrace().Events()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Errorf("JSONL round trip changed events:\ngot  %+v\nwant %+v", got, events)
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"name\":\"ok\",\"ph\":88,\"ts\":0,\"pid\":1,\"tid\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want line-numbered parse error, got %v", err)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("windows_total").Add(3)
+	reg.Gauge("depth").Set(2)
+	h := reg.Histogram("latency_ns")
+	h.Observe(5)
+	h.Observe(900)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# TYPE windows_total counter",
+		"windows_total 3",
+		"# TYPE depth gauge",
+		"depth 2",
+		"# TYPE latency_ns histogram",
+		`latency_ns_bucket{le="+Inf"} 2`,
+		"latency_ns_sum 905",
+		"latency_ns_count 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Prometheus output missing %q\n%s", frag, out)
+		}
+	}
+	// le buckets must be cumulative: the bucket covering 900 (le="1023")
+	// includes the earlier observation of 5.
+	if !strings.Contains(out, `le="1023"} 2`) {
+		t.Errorf("buckets not cumulative:\n%s", out)
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the bucket count of a Histogram: bucket 0 collects
+// non-positive observations; bucket b (1 ≤ b ≤ 64) collects values
+// whose bit length is b, i.e. the range [2^(b−1), 2^b − 1]. Log-2
+// bucketing keeps recording a single shift-free bits.Len64 plus one
+// atomic add, with ≤ 2× relative quantile error — plenty for latency
+// distributions spanning nanoseconds to seconds.
+const NumBuckets = 65
+
+// Histogram is a log-bucketed integer distribution. Observing is
+// lock-free, allocation-free and integer-only; quantiles, means and
+// bucket dumps are host-side reads.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the smallest value of bucket b (0 for bucket 0).
+func BucketLow(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(1) << uint(b-1)
+}
+
+// BucketHigh returns the largest value of bucket b.
+func BucketHigh(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 64 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(b) - 1
+}
+
+// Observe records one value.
+//
+//csecg:hotpath
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Bucket returns the count of bucket b.
+func (h *Histogram) Bucket(b int) int64 {
+	if b < 0 || b >= NumBuckets {
+		return 0
+	}
+	return h.buckets[b].Load()
+}
+
+// Mean returns the arithmetic mean of the observations (0 if empty).
+//
+//csecg:host percentile/mean math runs on the host at export time
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the containing log bucket, clamped to the observed maximum.
+//
+//csecg:host percentile/mean math runs on the host at export time
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < NumBuckets; b++ {
+		c := h.buckets[b].Load()
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketLow(b), BucketHigh(b)
+			if m := h.max.Load(); hi > m {
+				hi = m // the tail bucket cannot exceed the observed max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.max.Load()
+}
+
+// Summary condenses a histogram for reports.
+type Summary struct {
+	// Count and Sum aggregate the raw integer observations.
+	Count, Sum int64
+	// Max is the largest observation.
+	Max int64
+	// P50, P95 and P99 are interpolated quantiles in the observation's
+	// unit (ticks for latency histograms).
+	P50, P95, P99 int64
+}
+
+// Summarize computes the report summary.
+//
+//csecg:host percentile/mean math runs on the host at export time
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL streams events as one JSON object per line — the
+// machine-readable event log (round-trippable through ReadJSONL).
+//
+//csecg:host export-time formatting
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("telemetry: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an event log written by WriteJSONL.
+//
+//csecg:host export-time formatting
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("telemetry: event log line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading event log: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus dumps the registry in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// cumulative le-bucketed series with _sum and _count. Output is sorted
+// by metric name, so a dump is reproducible for a given session.
+//
+//csecg:host export-time formatting
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var b strings.Builder
+	for _, name := range r.CounterNames() {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Load())
+	}
+	for _, name := range r.GaugeNames() {
+		g := r.Gauge(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n%s_max %d\n", name, name, g.Load(), name, g.Max())
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.Histogram(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		top := 0
+		for bkt := 0; bkt < NumBuckets; bkt++ {
+			if h.Bucket(bkt) > 0 {
+				top = bkt
+			}
+		}
+		for bkt := 0; bkt <= top; bkt++ {
+			cum += h.Bucket(bkt)
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, BucketHigh(bkt), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookup (get-or-create) takes a mutex and may allocate, so hotpath
+// code resolves its metric pointers once at construction time and then
+// records lock-free through the returned pointers.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.counters)
+}
+
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.gauges)
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.histograms)
+}
+
+// sortedKeys returns the map's keys in sorted order (exports must be
+// deterministic, so no raw map iteration escapes the registry).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//csecg:orderok keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

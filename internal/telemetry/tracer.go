@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event phases, following the Chrome trace_event phase letters.
+const (
+	// PhaseSpan is a complete span with a start and a duration ("X").
+	PhaseSpan = byte('X')
+	// PhaseInstant is a point event ("i").
+	PhaseInstant = byte('i')
+	// PhaseCounter is a sampled counter value ("C").
+	PhaseCounter = byte('C')
+	// PhaseMeta is a metadata record such as a process name ("M").
+	PhaseMeta = byte('M')
+)
+
+// Arg kinds.
+const (
+	// ArgInt marks an integer argument.
+	ArgInt = byte('i')
+	// ArgStr marks a string argument.
+	ArgStr = byte('s')
+	// ArgFloat marks a float argument (host-side only — device code
+	// passes integers).
+	ArgFloat = byte('f')
+)
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key   string  `json:"k"`
+	Kind  byte    `json:"t"`
+	Int   int64   `json:"i,omitempty"`
+	Str   string  `json:"s,omitempty"`
+	Float float64 `json:"f,omitempty"`
+}
+
+// I builds an integer argument.
+func I(key string, v int64) Arg { return Arg{Key: key, Kind: ArgInt, Int: v} }
+
+// S builds a string argument.
+func S(key, v string) Arg { return Arg{Key: key, Kind: ArgStr, Str: v} }
+
+// F builds a float argument (host-side annotation only).
+func F(key string, v float64) Arg { return Arg{Key: key, Kind: ArgFloat, Float: v} }
+
+// Event is one trace record. TS and Dur are nanosecond ticks on the
+// tracer's clock (for the pipeline tracer, the modeled session
+// timeline: window w's acquisition starts at w × 2 s).
+type Event struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat,omitempty"`
+	Phase byte   `json:"ph"`
+	TS    int64  `json:"ts"`
+	Dur   int64  `json:"dur,omitempty"`
+	PID   int64  `json:"pid"`
+	TID   int64  `json:"tid"`
+	Args  []Arg  `json:"args,omitempty"`
+}
+
+// Tracer collects trace events. It is safe for concurrent use; event
+// order is the recording order.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   Clock
+	events  []Event
+	nextPID int64
+}
+
+// NewTracer builds a tracer on the given clock (nil → WallClock).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Tracer{clock: clock, nextPID: 1}
+}
+
+// Clock returns the tracer's clock.
+func (t *Tracer) Clock() Clock { return t.clock }
+
+// record appends one event.
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Span records a complete span at an explicit timestamp and duration.
+func (t *Tracer) Span(pid, tid int64, name, cat string, ts, dur int64, args ...Arg) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseSpan, TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(pid, tid int64, name, cat string, ts int64, args ...Arg) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// Counter records a sampled counter value; each arg becomes one series
+// on the counter track.
+func (t *Tracer) Counter(pid int64, name string, ts int64, args ...Arg) {
+	t.record(Event{Name: name, Phase: PhaseCounter, TS: ts, PID: pid, Args: args})
+}
+
+// Begin opens a span at the clock's current tick and returns a closer
+// that records it; use for wall-clock host timing.
+func (t *Tracer) Begin(pid, tid int64, name, cat string) func(args ...Arg) {
+	start := t.clock.Now()
+	return func(args ...Arg) {
+		end := t.clock.Now()
+		t.Span(pid, tid, name, cat, start, end-start, args...)
+	}
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Session groups the trace tracks of one streaming session: three
+// process IDs (mote, link, coordinator) named after the session label,
+// so several sessions sharing one tracer stay visually separate in
+// chrome://tracing.
+type Session struct {
+	// Mote, Link and Coordinator are the track (process) IDs.
+	Mote, Link, Coordinator int64
+}
+
+// ThreadName labels one thread track within a process.
+func (t *Tracer) ThreadName(pid, tid int64, name string) {
+	t.record(Event{Name: "thread_name", Phase: PhaseMeta, PID: pid, TID: tid,
+		Args: []Arg{S("name", name)}})
+	t.record(Event{Name: "thread_sort_index", Phase: PhaseMeta, PID: pid, TID: tid,
+		Args: []Arg{I("sort_index", tid)}})
+}
+
+// NewSession reserves three named tracks for one streaming session.
+func (t *Tracer) NewSession(label string) Session {
+	t.mu.Lock()
+	base := t.nextPID
+	t.nextPID += 3
+	t.mu.Unlock()
+	s := Session{Mote: base, Link: base + 1, Coordinator: base + 2}
+	for i, part := range []string{"mote", "link", "coordinator"} {
+		name := part
+		if label != "" {
+			name = fmt.Sprintf("%s — %s", label, part)
+		}
+		t.record(Event{Name: "process_name", Phase: PhaseMeta, PID: base + int64(i),
+			Args: []Arg{S("name", name)}})
+		t.record(Event{Name: "process_sort_index", Phase: PhaseMeta, PID: base + int64(i),
+			Args: []Arg{I("sort_index", base+int64(i))}})
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+// Pipeline stage names of the window-lifecycle trace. Every 2-second
+// window flows through these spans in order; the loss/NACK/retransmit
+// events appear only when the channel misbehaves.
+const (
+	// StageSample is the 2-second ADC acquisition of the window.
+	StageSample = "sample"
+	// StageCSSample is the sparse-binary CS measurement (the paper's
+	// 82 ms stage) including the rounding shift.
+	StageCSSample = "cs-sample"
+	// StageDiff is the inter-packet difference stage (zero-length on
+	// key frames).
+	StageDiff = "diff"
+	// StageHuffman is the entropy-coding stage (zero-length on key
+	// frames).
+	StageHuffman = "huffman"
+	// StageTX is packet framing plus radio airtime.
+	StageTX = "tx"
+	// StageRX marks the frame's arrival at the coordinator.
+	StageRX = "rx"
+	// StageReassemble is the reorder-buffer hold between arrival and
+	// in-order release to the decoder.
+	StageReassemble = "reassemble"
+	// StageFISTA is the sparse-recovery solve.
+	StageFISTA = "fista"
+	// StageReconstruct is the inverse transform and requantization that
+	// hands samples to the display.
+	StageReconstruct = "reconstruct"
+
+	// EventLoss marks a frame the channel destroyed.
+	EventLoss = "loss"
+	// EventNack marks a NACK sent on the control uplink.
+	EventNack = "nack"
+	// EventKeyRequest marks a key-frame request on the control uplink.
+	EventKeyRequest = "key-request"
+	// EventRetransmit marks a retransmission served from the mote's
+	// ring.
+	EventRetransmit = "retransmit"
+)
+
+// Stages lists the per-window lifecycle stages in pipeline order.
+func Stages() []string {
+	return []string{
+		StageSample, StageCSSample, StageDiff, StageHuffman, StageTX,
+		StageRX, StageReassemble, StageFISTA, StageReconstruct,
+	}
+}
+
+// CatWindow is the trace category of window-lifecycle spans.
+const CatWindow = "window"

@@ -10,6 +10,7 @@ import (
 	"csecg/internal/link"
 	"csecg/internal/metrics"
 	"csecg/internal/mote"
+	"csecg/internal/telemetry"
 )
 
 // StreamConfig describes an end-to-end monitoring session: one record
@@ -42,6 +43,23 @@ type StreamConfig struct {
 	// NACK protocol is enabled (0 → mote.DefaultRetransmitRing; must
 	// fit the MSP430's 10 kB RAM).
 	RetransmitRing int
+	// Metrics, when non-nil, attaches every pipeline component to the
+	// registry: mote/link/transport/coordinator counters and histograms
+	// plus the stream-level stage-duration and decode-latency series.
+	// When nil, a private registry is kept so the report's distribution
+	// summaries are populated either way.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records the window-lifecycle spans of every
+	// window on the session's modeled timeline — sample → cs-sample →
+	// diff → huffman → tx → rx → reassemble → fista → reconstruct, plus
+	// loss/NACK/retransmit events and the solver's per-iteration
+	// counter tracks.
+	Trace *telemetry.Tracer
+	// TraceLabel names the session's trace tracks (default the record).
+	TraceLabel string
+	// Clock times the host-side solve for the wall-time histogram
+	// (nil → telemetry.WallClock; inject a ManualClock in tests).
+	Clock telemetry.Clock
 }
 
 // StreamReport aggregates a session.
@@ -86,6 +104,45 @@ type StreamReport struct {
 	// LinkStats and ControlStats snapshot the fault counters of the
 	// data downlink and the control uplink.
 	LinkStats, ControlStats link.Stats
+	// Stages summarizes the modeled per-stage durations in nanoseconds
+	// across the session, keyed by the telemetry stage names (sample,
+	// cs-sample, diff, huffman, tx, rx, reassemble, fista, reconstruct).
+	Stages map[string]telemetry.Summary
+	// DecodeLatency is the per-window recovery latency distribution in
+	// nanoseconds: end of the window's acquisition to reconstruction
+	// available, including reorder/retransmit slot delays — the
+	// per-window accounting behind the session-mean MeanDecodeTime.
+	DecodeLatency telemetry.Summary
+	// SolverIterations is the per-window FISTA iteration distribution.
+	SolverIterations telemetry.Summary
+}
+
+// Trace thread (track) IDs within a session's three processes.
+const (
+	tidAcquire = 1 // mote: ADC acquisition
+	tidEncode  = 2 // mote: CS measurement, diff, entropy stages
+	tidAir     = 1 // link: radio airtime and channel events
+	tidRX      = 1 // coordinator: frame arrival and control traffic
+	tidBuffer  = 2 // coordinator: reorder-buffer hold
+	tidDecode  = 3 // coordinator: FISTA solve and reconstruction
+)
+
+// traceIterations emits a downsampled counter track of the solver's
+// per-iteration telemetry, spread evenly across the window's fista span.
+func traceIterations(tr *telemetry.Tracer, pid int64, d coordinator.Decoded, start, dur int64) {
+	samples := d.Res.IterTrace
+	if len(samples) == 0 {
+		return
+	}
+	const maxPoints = 64
+	stride := (len(samples) + maxPoints - 1) / maxPoints
+	for i := 0; i < len(samples); i += stride {
+		s := samples[i]
+		ts := start + int64(float64(dur)*float64(i)/float64(len(samples)))
+		tr.Counter(pid, "fista objective", ts, telemetry.F("objective", s.Objective))
+		tr.Counter(pid, "fista residual", ts, telemetry.F("residual", s.Residual))
+		tr.Counter(pid, "fista step", ts, telemetry.F("step", s.Step))
+	}
 }
 
 // RunStream executes the full pipeline and returns the session report.
@@ -140,6 +197,39 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 	rx := coordinator.NewReceiver(dec, cfg.Transport)
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m.Instrument(reg)
+	lnk.Instrument(reg, "link")
+	if ctrl != nil {
+		ctrl.Instrument(reg, "ctrl")
+	}
+	rx.Instrument(reg)
+	dec.Instrument(reg, cfg.Clock)
+	tr := cfg.Trace
+	var ses telemetry.Session
+	if tr != nil {
+		dec.EnableIterationTrace()
+		label := cfg.TraceLabel
+		if label == "" {
+			label = "record " + cfg.RecordID
+		}
+		ses = tr.NewSession(label)
+		tr.ThreadName(ses.Mote, tidAcquire, "acquire")
+		tr.ThreadName(ses.Mote, tidEncode, "encode")
+		tr.ThreadName(ses.Link, tidAir, "air")
+		tr.ThreadName(ses.Coordinator, tidRX, "rx")
+		tr.ThreadName(ses.Coordinator, tidBuffer, "reorder-buffer")
+		tr.ThreadName(ses.Coordinator, tidDecode, "decode")
+	}
+	stageHist := make(map[string]*telemetry.Histogram, len(telemetry.Stages()))
+	for _, s := range telemetry.Stages() {
+		stageHist[s] = reg.Histogram("stream_stage_" + s + "_ns")
+	}
+	latHist := reg.Histogram("stream_decode_latency_ns")
+
 	rep := &StreamReport{}
 	var rawBits, compBits int
 	var sumPRDN float64
@@ -152,6 +242,30 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		n = WindowSize
 	}
 
+	// Modeled session timeline, in nanoseconds: window w's acquisition
+	// fills [w·T, (w+1)·T); encode and transmit of window w run while
+	// window w+1 is being acquired (double-buffered ADC). nowNs tracks
+	// the mote/link side; the coordinator's single decode core is
+	// serialized through decodeFreeAt.
+	windowNs := int64(float64(n) / FsMote * float64(time.Second))
+	cyclesToNs := func(c int64) int64 { return c * int64(time.Second) / mote.ClockHz }
+	reconstructNs := int64(coordinator.DefaultCosts().IterationTime(dec.Params(), cfg.Mode))
+	var nowNs, decodeFreeAt int64
+	var lostSoFar int64
+	rxAt := map[uint32]int64{} // per-seq arrival time of the delivered frame
+
+	// noteLoss emits a loss instant when the last transmit was destroyed.
+	noteLoss := func(seq int64) {
+		st := lnk.Stats()
+		if lost := st.Dropped + st.Corrupted; lost > lostSoFar {
+			if tr != nil {
+				tr.Instant(ses.Link, tidAir, telemetry.EventLoss, telemetry.CatWindow, nowNs,
+					telemetry.I("seq", seq))
+			}
+			lostSoFar = lost
+		}
+	}
+
 	// Windows indexed by sequence number, for scoring late releases.
 	var wins [][]int16
 	score := func(out []coordinator.Decoded) {
@@ -159,6 +273,37 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			sumIters += int64(d.Res.Iterations)
 			sumDecode += d.Res.ModeledTime
 			decodeTimes = append(decodeTimes, d.Res.ModeledTime.Seconds())
+
+			// Window lifecycle on the coordinator: the frame arrived at
+			// rxAt, waited in the reorder buffer until released (now, or
+			// until the decode core freed up), then solved and
+			// reconstructed.
+			arrive := rxAt[d.Seq]
+			start := nowNs
+			if arrive > start {
+				start = arrive
+			}
+			if decodeFreeAt > start {
+				start = decodeFreeAt
+			}
+			fistaNs := int64(d.Res.ModeledTime)
+			decodeFreeAt = start + fistaNs + reconstructNs
+			stageHist[telemetry.StageReassemble].Observe(start - arrive)
+			stageHist[telemetry.StageFISTA].Observe(fistaNs)
+			stageHist[telemetry.StageReconstruct].Observe(reconstructNs)
+			// Per-window recovery latency: acquisition end → samples ready.
+			latHist.Observe(decodeFreeAt - (int64(d.Seq)+1)*windowNs)
+			if tr != nil {
+				seqArg := telemetry.I("seq", int64(d.Seq))
+				tr.Span(ses.Coordinator, tidBuffer, telemetry.StageReassemble, telemetry.CatWindow,
+					arrive, start-arrive, seqArg)
+				tr.Span(ses.Coordinator, tidDecode, telemetry.StageFISTA, telemetry.CatWindow,
+					start, fistaNs, seqArg, telemetry.I("iterations", int64(d.Res.Iterations)))
+				tr.Span(ses.Coordinator, tidDecode, telemetry.StageReconstruct, telemetry.CatWindow,
+					start+fistaNs, reconstructNs, seqArg)
+				traceIterations(tr, ses.Coordinator, d, start, fistaNs)
+			}
+
 			if d.Seq == 0 || int(d.Seq) >= len(wins) {
 				continue // cold start is excluded from the quality stats
 			}
@@ -179,9 +324,16 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			}
 		}
 	}
-	// deliver pushes every frame the channel produced into the receiver.
-	deliver := func(pkts []*core.Packet) error {
+	// deliver pushes every frame the channel produced into the receiver;
+	// rxEnd/durNs place the arrival on the modeled timeline.
+	deliver := func(pkts []*core.Packet, rxEnd, durNs int64) error {
 		for _, p := range pkts {
+			rxAt[p.Seq] = rxEnd
+			stageHist[telemetry.StageRX].Observe(durNs)
+			if tr != nil {
+				tr.Span(ses.Coordinator, tidRX, telemetry.StageRX, telemetry.CatWindow,
+					rxEnd-durNs, durNs, telemetry.I("seq", int64(p.Seq)))
+			}
 			out, err := rx.Push(p)
 			if err != nil {
 				return err
@@ -194,7 +346,8 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	// it survives, has the mote act on it. Retransmitted frames cross
 	// the same lossy downlink as everything else.
 	serveControl := func(c *core.Packet) error {
-		up, _, err := ctrl.TransmitPacket(c)
+		up, ctrlAt, err := ctrl.TransmitPacket(c)
+		nowNs += int64(ctrlAt)
 		if err != nil || up == nil {
 			return err
 		}
@@ -209,13 +362,25 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 				if !ok {
 					continue // aged out of the ring
 				}
+				if tr != nil {
+					tr.Instant(ses.Link, tidAir, telemetry.EventRetransmit, telemetry.CatWindow,
+						nowNs, telemetry.I("seq", int64(pkt.Seq)))
+				}
 				before := lnk.Stats().Airtime
-				pkts, _, err := lnk.TransmitPacketMulti(pkt)
+				pkts, at, err := lnk.TransmitPacketMulti(pkt)
 				if err != nil {
 					return err
 				}
 				rep.RetransmitAirtime += lnk.Stats().Airtime - before
-				if err := deliver(pkts); err != nil {
+				txNs := int64(at)
+				stageHist[telemetry.StageTX].Observe(txNs)
+				if tr != nil {
+					tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
+						telemetry.I("seq", int64(pkt.Seq)), telemetry.I("retransmit", 1))
+				}
+				nowNs += txNs
+				noteLoss(int64(pkt.Seq))
+				if err := deliver(pkts, nowNs, txNs); err != nil {
 					return err
 				}
 			}
@@ -226,6 +391,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 
 	for o := 0; o+n <= len(samples); o += n {
+		w := int64(rep.Windows)
 		win := samples[o : o+n]
 		mr, err := m.EncodeWindow(win)
 		if err != nil {
@@ -235,16 +401,56 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		wins = append(wins, win)
 		rawBits += n * 12
 		compBits += mr.Packet.WireSize() * 8
-		pkts, _, err := lnk.TransmitPacketMulti(mr.Packet)
+
+		if encStart := (w + 1) * windowNs; encStart > nowNs {
+			nowNs = encStart
+		}
+		csNs := cyclesToNs(mr.MeasureCycles + mr.ShiftCycles)
+		diffNs := cyclesToNs(mr.DiffCycles)
+		huffNs := cyclesToNs(mr.EntropyCycles + mr.FramingCycles)
+		stageHist[telemetry.StageSample].Observe(windowNs)
+		stageHist[telemetry.StageCSSample].Observe(csNs)
+		stageHist[telemetry.StageDiff].Observe(diffNs)
+		stageHist[telemetry.StageHuffman].Observe(huffNs)
+		if tr != nil {
+			seqArg := telemetry.I("seq", w)
+			tr.Span(ses.Mote, tidAcquire, telemetry.StageSample, telemetry.CatWindow,
+				w*windowNs, windowNs, seqArg)
+			tr.Span(ses.Mote, tidEncode, telemetry.StageCSSample, telemetry.CatWindow,
+				nowNs, csNs, seqArg)
+			tr.Span(ses.Mote, tidEncode, telemetry.StageDiff, telemetry.CatWindow,
+				nowNs+csNs, diffNs, seqArg)
+			tr.Span(ses.Mote, tidEncode, telemetry.StageHuffman, telemetry.CatWindow,
+				nowNs+csNs+diffNs, huffNs, seqArg,
+				telemetry.I("bytes", int64(mr.Packet.WireSize())))
+		}
+		nowNs += csNs + diffNs + huffNs
+
+		pkts, at, err := lnk.TransmitPacketMulti(mr.Packet)
 		if err != nil {
 			return nil, err
 		}
-		if err := deliver(pkts); err != nil {
+		txNs := int64(at)
+		stageHist[telemetry.StageTX].Observe(txNs)
+		if tr != nil {
+			tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
+				telemetry.I("seq", w))
+		}
+		nowNs += txNs
+		noteLoss(w)
+		if err := deliver(pkts, nowNs, txNs); err != nil {
 			return nil, err
 		}
 		ctrlPkts, late := rx.EndSlot()
 		score(late)
 		for _, c := range ctrlPkts {
+			if tr != nil {
+				name := telemetry.EventNack
+				if c.Kind == core.KindKeyRequest {
+					name = telemetry.EventKeyRequest
+				}
+				tr.Instant(ses.Coordinator, tidRX, name, telemetry.CatWindow, nowNs)
+			}
 			if ctrl == nil {
 				continue
 			}
@@ -258,7 +464,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 	// End of session: the reorder model releases anything still held,
 	// then the receiver abandons what never arrived.
-	if err := deliver(lnk.FlushPackets()); err != nil {
+	if err := deliver(lnk.FlushPackets(), nowNs, 0); err != nil {
 		return nil, err
 	}
 	score(rx.Close())
@@ -276,6 +482,12 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	rep.WireCR = metrics.CR(rawBits, compBits)
 	rep.MoteCPU = m.AverageCPUUsage()
 	rep.CoordinatorCPU = dec.AverageCPUUsage()
+	rep.Stages = make(map[string]telemetry.Summary, len(telemetry.Stages()))
+	for _, s := range telemetry.Stages() {
+		rep.Stages[s] = stageHist[s].Summarize()
+	}
+	rep.DecodeLatency = latHist.Summarize()
+	rep.SolverIterations = reg.Histogram("coordinator_iterations").Summarize()
 
 	// Energy: compare against streaming the raw 12-bit samples. The
 	// downlink airtime already includes every retransmission the mote

@@ -1,0 +1,197 @@
+package csecg
+
+import (
+	"testing"
+	"time"
+
+	"csecg/internal/telemetry"
+)
+
+// streamTrace runs a short clean session with tracing attached and
+// returns the report plus the recorded events.
+func streamTrace(t *testing.T, cfg StreamConfig) (*StreamReport, []TraceEvent) {
+	t.Helper()
+	tr := NewTracer(NewManualClock(0))
+	cfg.Trace = tr
+	cfg.Metrics = NewMetrics()
+	cfg.Clock = NewManualClock(0)
+	rep, err := RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, tr.Events()
+}
+
+// TestStreamTraceCoversEveryStage is the PR's acceptance property: every
+// decoded window must appear in the trace with all nine lifecycle
+// stages.
+func TestStreamTraceCoversEveryStage(t *testing.T) {
+	rep, events := streamTrace(t, StreamConfig{
+		RecordID: "100",
+		Seconds:  12,
+		Params:   Params{Seed: 0x0B5, M: MForCR(50, WindowSize)},
+		Mode:     ModeNEON,
+	})
+	if rep.Decoded == 0 {
+		t.Fatal("clean session decoded nothing")
+	}
+	// stage name → set of window seqs that have a span for it.
+	seen := map[string]map[int64]bool{}
+	fistaSpans := 0
+	for _, e := range events {
+		if e.Phase != telemetry.PhaseSpan || e.Cat != telemetry.CatWindow {
+			continue
+		}
+		var seq int64 = -1
+		for _, a := range e.Args {
+			if a.Key == "seq" {
+				seq = a.Int
+			}
+		}
+		if seq < 0 {
+			continue
+		}
+		if seen[e.Name] == nil {
+			seen[e.Name] = map[int64]bool{}
+		}
+		seen[e.Name][seq] = true
+		if e.Name == telemetry.StageFISTA {
+			fistaSpans++
+		}
+	}
+	for _, stage := range PipelineStages() {
+		for seq := int64(0); seq < int64(rep.Decoded); seq++ {
+			if !seen[stage][seq] {
+				t.Errorf("window %d has no %q span", seq, stage)
+			}
+		}
+	}
+	if fistaSpans != rep.Decoded {
+		t.Errorf("%d fista spans for %d decoded windows", fistaSpans, rep.Decoded)
+	}
+	// Report summaries must be populated from the same session.
+	for _, stage := range PipelineStages() {
+		if rep.Stages[stage].Count == 0 {
+			t.Errorf("report has no %q stage observations", stage)
+		}
+	}
+	if got := rep.SolverIterations.Count; got != int64(rep.Decoded) {
+		t.Errorf("solver iteration summary has %d observations, want %d", got, rep.Decoded)
+	}
+}
+
+// TestStreamTraceSpansDisjointPerTrack pins the modeled-timeline
+// invariant: spans sharing one (pid, tid) track never overlap, so the
+// trace renders as a clean lane per pipeline resource.
+func TestStreamTraceSpansDisjointPerTrack(t *testing.T) {
+	_, events := streamTrace(t, StreamConfig{
+		RecordID: "100",
+		Seconds:  10,
+		Params:   Params{Seed: 0x0B5, M: MForCR(50, WindowSize)},
+		Mode:     ModeNEON,
+	})
+	type key struct{ pid, tid int64 }
+	lastEnd := map[key]int64{}
+	for _, e := range events {
+		if e.Phase != telemetry.PhaseSpan {
+			continue
+		}
+		k := key{e.PID, e.TID}
+		if e.TS < lastEnd[k] {
+			t.Fatalf("span %q at %d ns overlaps previous span on pid %d tid %d (ends %d)",
+				e.Name, e.TS, e.PID, e.TID, lastEnd[k])
+		}
+		if e.Dur < 0 {
+			t.Fatalf("span %q has negative duration %d", e.Name, e.Dur)
+		}
+		lastEnd[k] = e.TS + e.Dur
+	}
+}
+
+// TestStreamDecodeLatencyPerWindow pins the per-window recovery-latency
+// accounting. A clean session recovers every window within its 2-second
+// real-time budget; a bursty NACK session recovers gapped windows whole
+// slots late — visible in DecodeLatency.Max, invisible to the session
+// mean MeanDecodeTime.
+func TestStreamDecodeLatencyPerWindow(t *testing.T) {
+	base := StreamConfig{
+		RecordID: "100",
+		Seconds:  60,
+		Params:   Params{Seed: 0x7A4, M: MForCR(50, WindowSize)},
+		Mode:     ModeNEON,
+	}
+
+	clean, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DecodeLatency.Count != int64(clean.Decoded) {
+		t.Fatalf("clean: %d latency observations for %d decoded windows",
+			clean.DecodeLatency.Count, clean.Decoded)
+	}
+	budget := int64(2 * time.Second)
+	if clean.DecodeLatency.Max > budget {
+		t.Errorf("clean session worst recovery latency %v exceeds the 2 s window period",
+			time.Duration(clean.DecodeLatency.Max))
+	}
+
+	lossy := base
+	lossy.Link = DefaultLinkConfig()
+	lossy.Link.Burst = &BurstConfig{PGoodBad: 0.06, PBadGood: 0.50}
+	lossy.Link.BitFlipProb = 0.0002
+	lossy.Link.Seed = 0xC4A7
+	lossy.Transport = TransportConfig{NACK: true}
+	rep, err := RunStream(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transport.Gaps == 0 {
+		t.Fatal("lossy session produced no gaps; channel config too mild to exercise recovery")
+	}
+	if rep.DecodeLatency.Count != int64(rep.Decoded) {
+		t.Fatalf("lossy: %d latency observations for %d decoded windows",
+			rep.DecodeLatency.Count, rep.Decoded)
+	}
+	// Windows recovered via NACK arrive at least one slot after their
+	// acquisition, so the per-window tail must exceed the clean bound...
+	if rep.DecodeLatency.Max <= budget {
+		t.Errorf("lossy worst recovery latency %v, want > %v (gap recovery spans slots)",
+			time.Duration(rep.DecodeLatency.Max), time.Duration(budget))
+	}
+	if rep.DecodeLatency.Max <= clean.DecodeLatency.Max {
+		t.Errorf("lossy tail %v not above clean tail %v",
+			time.Duration(rep.DecodeLatency.Max), time.Duration(clean.DecodeLatency.Max))
+	}
+	// ...while the session-mean decode time stays comfortably sub-second,
+	// which is exactly why the mean alone cannot express recovery
+	// latency.
+	if rep.MeanDecodeTime >= time.Second {
+		t.Errorf("mean decode time %v, want < 1 s", rep.MeanDecodeTime)
+	}
+}
+
+// TestStreamSharedRegistryAcrossSessions checks that callers can pool
+// several sessions into one registry, the csecg-bench -metrics shape.
+func TestStreamSharedRegistryAcrossSessions(t *testing.T) {
+	reg := NewMetrics()
+	var windows int64
+	for _, id := range []string{"100", "101"} {
+		rep, err := RunStream(StreamConfig{
+			RecordID: id,
+			Seconds:  8,
+			Params:   Params{Seed: 0x33, M: MForCR(50, WindowSize)},
+			Mode:     ModeNEON,
+			Metrics:  reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows += int64(rep.Windows)
+	}
+	if got := reg.Counter("mote_windows_total").Load(); got != windows {
+		t.Errorf("pooled mote_windows_total = %d, want %d", got, windows)
+	}
+	if reg.Histogram("stream_decode_latency_ns").Count() == 0 {
+		t.Error("pooled registry missing decode-latency observations")
+	}
+}
