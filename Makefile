@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench
+.PHONY: check vet lint build test race fuzz-smoke bench perf perf-gate
 
 check: vet lint build test race fuzz-smoke
 
@@ -32,3 +32,12 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# perf writes the machine-readable perf-suite summary; perf-gate runs
+# the CI regression comparison against the committed baseline (fails on
+# >15% normalized growth — see internal/bench).
+perf:
+	$(GO) run ./cmd/csecg-bench -json BENCH_4.json
+
+perf-gate:
+	$(GO) run ./cmd/csecg-bench -compare BENCH_4.json

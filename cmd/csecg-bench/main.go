@@ -14,7 +14,12 @@
 //	csecg-bench -exp transport -trace out.json    # Chrome trace of every window
 //	csecg-bench -exp cpu -metrics metrics.prom    # Prometheus text dump
 //	csecg-bench -exp cpu -events events.jsonl     # JSONL event log
-//	csecg-bench -exp all -pprof cpu.pprof         # Go CPU profile of the run
+//	csecg-bench -exp all -pprof cpu.pprof         # CPU+mutex+block profiles
+//
+// Performance tracking:
+//
+//	csecg-bench -json BENCH.json                  # machine-readable perf suite
+//	csecg-bench -compare BENCH_4.json             # fail on >15% normalized regression
 //
 // Paper experiments: fig2, fig6, fig7, encoder, memory, speedup, cpu,
 // lifetime, convergence. Extensions: resilience, transport, baseline,
@@ -27,12 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strings"
 	"time"
 
 	"csecg"
+	"csecg/internal/bench"
 	"csecg/internal/experiments"
+	"csecg/internal/prof"
 )
 
 // writeFile streams telemetry output to the named file ("-" → stdout).
@@ -67,7 +73,10 @@ func run() int {
 		metricsFile = flag.String("metrics", "", "write a Prometheus text metrics dump to this file ('-' for stdout)")
 		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON of every window lifecycle to this file")
 		eventsFile  = flag.String("events", "", "write the trace as a JSONL event log to this file")
-		pprofFile   = flag.String("pprof", "", "write a Go CPU profile of the run to this file")
+		pprofFile   = flag.String("pprof", "", "write Go CPU/mutex/block profiles of the run to this file (+.mutex/.block)")
+		jsonFile    = flag.String("json", "", "run the perf suite and write the machine-readable summary to this file ('-' for stdout)")
+		compareFile = flag.String("compare", "", "run the perf suite and fail on normalized regressions against this baseline summary")
+		tolerance   = flag.Float64("tolerance", bench.DefaultTolerance, "allowed normalized-time growth before -compare fails")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -91,17 +100,20 @@ func run() int {
 		opt.Trace = tracer
 	}
 	if *pprofFile != "" {
-		f, err := os.Create(*pprofFile)
+		p, err := prof.Start(*pprofFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "csecg-bench: pprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "csecg-bench: pprof: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close() //csecg:errok profile file closed after StopCPUProfile
-		defer pprof.StopCPUProfile()
+		defer func() {
+			if err := p.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "csecg-bench: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	if *jsonFile != "" || *compareFile != "" {
+		return runPerf(*jsonFile, *compareFile, *tolerance)
 	}
 
 	type runner struct {

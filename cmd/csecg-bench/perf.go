@@ -1,0 +1,213 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"csecg"
+	"csecg/internal/bench"
+)
+
+// calibSink keeps the calibration loop's result alive past dead-code
+// elimination.
+var calibSink float32
+
+// benchCalibration is the fixed floating-point workload every other
+// benchmark is normalized against: a 4096-element float32 multiply-
+// accumulate sweep, the same arithmetic the FISTA hot loops spend
+// their time in. Its absolute speed varies per machine; the ratio of
+// any pipeline benchmark to it does not, which is what makes the
+// committed baseline comparable across CI runners.
+func benchCalibration(b *testing.B) {
+	x := make([]float32, 4096)
+	y := make([]float32, 4096)
+	for i := range x {
+		x[i] = float32(i%7) * 0.25
+		y[i] = float32(i%5) * 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			y[j] = y[j]*0.999 + x[j]*0.001
+			acc += y[j]
+		}
+	}
+	calibSink = acc
+}
+
+// nsPerOp converts a benchmark result to float ns/op.
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// perfSuite measures the pipeline's representative costs and returns
+// the normalized summary.
+func perfSuite() (*bench.Summary, error) {
+	rec, err := csecg.RecordByID("100")
+	if err != nil {
+		return nil, err
+	}
+	adc, err := rec.Channel256(4, 0)
+	if err != nil {
+		return nil, err
+	}
+	win := adc[:csecg.WindowSize]
+
+	mkCodec := func(cr float64) (*csecg.Encoder, *csecg.Decoder32, error) {
+		p := csecg.Params{Seed: 0x601, M: csecg.MForCR(cr, csecg.WindowSize)}
+		enc, err := csecg.NewEncoder(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		dec, err := csecg.NewDecoder32(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return enc, dec, nil
+	}
+	decodeBench := func(cr float64) (func(*testing.B), error) {
+		enc, dec, err := mkCodec(cr)
+		if err != nil {
+			return nil, err
+		}
+		pkt, err := enc.EncodeWindow(win)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodePacket(pkt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil
+	}
+
+	encCR50, _, err := mkCodec(50)
+	if err != nil {
+		return nil, err
+	}
+	decode50, err := decodeBench(50)
+	if err != nil {
+		return nil, err
+	}
+	decode80, err := decodeBench(80)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := csecg.NewMetrics()
+	for i := 0; i < 40; i++ {
+		reg.Counter("perf_counter").Inc()
+		reg.Gauge("perf_gauge").Set(int64(i))
+		reg.Histogram("perf_hist").Observe(int64(1) << uint(i%40))
+	}
+
+	suite := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"encode_window_cr50", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := encCR50.EncodeWindow(win); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"decode_window_cr50", decode50},
+		{"decode_window_cr80", decode80},
+		{"prometheus_export", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := csecg.WriteMetrics(io.Discard, reg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	calib := testing.Benchmark(benchCalibration)
+	s := &bench.Summary{
+		Schema:        bench.Schema,
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		CalibrationNs: nsPerOp(calib),
+	}
+	for _, entry := range suite {
+		r := testing.Benchmark(entry.fn)
+		s.Results = append(s.Results, bench.Result{
+			Name:        entry.name,
+			NsPerOp:     nsPerOp(r),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// runPerf runs the suite, optionally writing the summary and comparing
+// against a committed baseline. It returns the process exit code.
+func runPerf(jsonFile, compareFile string, tolerance float64) int {
+	s, err := perfSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-bench: perf: %v\n", err)
+		return 1
+	}
+	fmt.Printf("perf suite (calibration %.0f ns/op on %s/%s):\n", s.CalibrationNs, s.GoOS, s.GoArch)
+	for _, r := range s.Results {
+		fmt.Printf("  %-24s %12.0f ns/op %10.2f norm %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.Normalized, r.AllocsPerOp)
+	}
+	if jsonFile != "" {
+		writeFile("json", jsonFile, func(w *os.File) error { return s.Write(w) })
+	}
+	if compareFile == "" {
+		return 0
+	}
+	f, err := os.Open(compareFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-bench: compare: %v\n", err)
+		return 1
+	}
+	baseline, err := bench.Read(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-bench: compare: %v\n", err)
+		return 1
+	}
+	deltas, err := bench.Compare(baseline, s, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-bench: compare: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\nvs %s (tolerance %+.0f%%):\n", compareFile, tolerance*100)
+	for _, d := range deltas {
+		mark := "ok"
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		fmt.Printf("  %-24s %8.2f → %8.2f norm (%+6.1f%%)  %s\n",
+			d.Name, d.Baseline, d.Current, (d.Ratio-1)*100, mark)
+	}
+	if regs := bench.Regressions(deltas); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "csecg-bench: %d benchmark(s) regressed past %.0f%%\n",
+			len(regs), tolerance*100)
+		return 1
+	}
+	return 0
+}

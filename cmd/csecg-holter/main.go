@@ -8,16 +8,19 @@
 //
 //	csecg-holter -record 202 -seconds 300 -cr 50
 //	csecg-holter -record 202 -trace out.json -metrics metrics.prom -pprof cpu.pprof
+//
+// -pprof also arms the mutex and block profilers and writes
+// cpu.pprof.mutex and cpu.pprof.block alongside the CPU profile.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"time"
 
 	"csecg"
+	"csecg/internal/prof"
 )
 
 func main() {
@@ -34,15 +37,15 @@ func main() {
 	flag.Parse()
 
 	if *pprofFile != "" {
-		f, err := os.Create(*pprofFile)
+		p, err := prof.Start(*pprofFile)
 		if err != nil {
 			fail(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
-		}
-		defer f.Close() //csecg:errok profile file closed after StopCPUProfile
-		defer pprof.StopCPUProfile()
+		defer func() {
+			if err := p.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "csecg-holter: pprof: %v\n", err)
+			}
+		}()
 	}
 	var reg *csecg.Metrics
 	if *metricsFile != "" {

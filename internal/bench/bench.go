@@ -1,0 +1,135 @@
+// Package bench defines the machine-readable benchmark summary that
+// csecg-bench emits with -json, and the regression comparison the CI
+// gate runs against a committed baseline.
+//
+// Raw nanoseconds are useless across machines, so every benchmark is
+// also reported normalized: its ns/op divided by the ns/op of a fixed
+// floating-point calibration workload measured in the same process.
+// The normalized number is a pure "how many calibration units does
+// this cost" ratio that survives CPU differences, and it is what the
+// regression gate compares.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema is the summary format version.
+const Schema = 1
+
+// DefaultTolerance is the allowed normalized-time growth before the
+// regression gate fails (0.15 = 15 %).
+const DefaultTolerance = 0.15
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Normalized is NsPerOp divided by the summary's calibration
+	// ns/op — the machine-independent cost the gate compares.
+	Normalized float64 `json:"normalized"`
+}
+
+// Summary is the -json document.
+type Summary struct {
+	Schema int    `json:"schema"`
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// CalibrationNs is the measured ns/op of the fixed calibration
+	// workload on this machine.
+	CalibrationNs float64  `json:"calibration_ns_per_op"`
+	Results       []Result `json:"benchmarks"`
+}
+
+// Normalize fills every result's Normalized field from CalibrationNs.
+func (s *Summary) Normalize() error {
+	if s.CalibrationNs <= 0 {
+		return fmt.Errorf("bench: calibration ns/op %v not positive", s.CalibrationNs)
+	}
+	for i := range s.Results {
+		s.Results[i].Normalized = s.Results[i].NsPerOp / s.CalibrationNs
+	}
+	return nil
+}
+
+// Write emits the summary as indented JSON.
+func (s *Summary) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a summary and validates its schema.
+func Read(r io.Reader) (*Summary, error) {
+	var s Summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bench: parsing summary: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("bench: summary schema %d, want %d", s.Schema, Schema)
+	}
+	if s.CalibrationNs <= 0 {
+		return nil, fmt.Errorf("bench: summary calibration ns/op %v not positive", s.CalibrationNs)
+	}
+	return &s, nil
+}
+
+// Delta is one benchmark's baseline-to-current comparison.
+type Delta struct {
+	Name string
+	// Baseline and Current are the normalized costs; Ratio is
+	// Current/Baseline (1.0 = unchanged, 2.0 = twice as slow).
+	Baseline, Current, Ratio float64
+	// Regressed marks deltas past the gate's tolerance.
+	Regressed bool
+}
+
+// Compare evaluates current against baseline at the given tolerance
+// (0 → DefaultTolerance). It returns one Delta per benchmark present
+// in both summaries, sorted by name, and errs when the summaries share
+// no benchmarks at all.
+func Compare(baseline, current *Summary, tolerance float64) ([]Delta, error) {
+	if tolerance == 0 {
+		tolerance = DefaultTolerance
+	}
+	base := map[string]Result{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var deltas []Delta
+	for _, r := range current.Results {
+		b, ok := base[r.Name]
+		if !ok || b.Normalized <= 0 {
+			continue
+		}
+		ratio := r.Normalized / b.Normalized
+		deltas = append(deltas, Delta{
+			Name:      r.Name,
+			Baseline:  b.Normalized,
+			Current:   r.Normalized,
+			Ratio:     ratio,
+			Regressed: ratio > 1+tolerance,
+		})
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("bench: baseline and current share no benchmarks")
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, nil
+}
+
+// Regressions filters a comparison down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func summary(calib float64, pairs ...interface{}) *Summary {
+	s := &Summary{Schema: Schema, GoOS: "linux", GoArch: "amd64", CalibrationNs: calib}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Results = append(s.Results, Result{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestCompareRoundTrip pins the JSON round trip and the comparison on
+// an unchanged workload.
+func TestCompareRoundTrip(t *testing.T) {
+	s := summary(100, "decode", 5000.0, "encode", 800.0)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(back, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Ratio != 1 || d.Regressed {
+			t.Errorf("unchanged workload flagged: %+v", d)
+		}
+	}
+}
+
+// TestCompareNormalizationCancelsMachineSpeed runs the same workload
+// on a "machine" twice as fast across the board: raw times halve, the
+// calibration halves with them, and the gate stays green.
+func TestCompareNormalizationCancelsMachineSpeed(t *testing.T) {
+	slow := summary(200, "decode", 10000.0, "encode", 1600.0)
+	fast := summary(100, "decode", 5000.0, "encode", 800.0)
+	deltas, err := Compare(slow, fast, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Regressions(deltas); len(got) != 0 {
+		t.Errorf("machine speed difference flagged as regression: %+v", got)
+	}
+}
+
+// TestCompareCatchesInjectedSlowdown is the gate check: a 2× slowdown
+// in one benchmark — with the calibration workload unchanged — must
+// fail, and a within-tolerance wiggle must not.
+func TestCompareCatchesInjectedSlowdown(t *testing.T) {
+	baseline := summary(100, "decode", 5000.0, "encode", 800.0)
+	slowed := summary(100, "decode", 10000.0, "encode", 820.0)
+	deltas, err := Compare(baseline, slowed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "decode" {
+		t.Fatalf("2x decode slowdown: regressions %+v, want exactly decode", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Errorf("ratio %.2f, want ~2.0", regs[0].Ratio)
+	}
+}
+
+// TestCompareToleranceBoundary pins the 15 % default boundary.
+func TestCompareToleranceBoundary(t *testing.T) {
+	baseline := summary(100, "decode", 1000.0)
+	within := summary(100, "decode", 1140.0)  // +14 %
+	outside := summary(100, "decode", 1160.0) // +16 %
+	if d, err := Compare(baseline, within, 0); err != nil || len(Regressions(d)) != 0 {
+		t.Errorf("+14%% flagged (err %v, deltas %+v)", err, d)
+	}
+	if d, err := Compare(baseline, outside, 0); err != nil || len(Regressions(d)) != 1 {
+		t.Errorf("+16%% passed (err %v, deltas %+v)", err, d)
+	}
+}
+
+// TestReadRejects pins the validation errors.
+func TestReadRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"schema":2,"calibration_ns_per_op":100}`,
+		`{"schema":1,"calibration_ns_per_op":0}`,
+		`not json`,
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read accepted %q", bad)
+		}
+	}
+	disjointA := summary(100, "a", 1.0)
+	disjointB := summary(100, "b", 1.0)
+	if _, err := Compare(disjointA, disjointB, 0); err == nil {
+		t.Error("Compare accepted summaries with no shared benchmarks")
+	}
+}

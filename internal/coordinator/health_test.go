@@ -1,0 +1,105 @@
+package coordinator
+
+import (
+	"testing"
+
+	"csecg/internal/telemetry"
+)
+
+// TestHealthTransitionsUnderBurstLoss drives the receiver through the
+// full health graph — starting → decoding (keyed) → degraded (forced
+// burst loss) → decoding (recovered) — and checks the gauge and
+// recovery counter track it.
+func TestHealthTransitionsUnderBurstLoss(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{})
+	reg := telemetry.NewRegistry()
+	rx.Instrument(reg)
+	pkts := encodeN(t, enc, 12)
+
+	if got := rx.Health(); got != HealthStarting {
+		t.Fatalf("before any packet: health %v, want starting", got)
+	}
+
+	// Windows 0-1 arrive cleanly: the coordinator keys and decodes.
+	for _, p := range pkts[:2] {
+		push(t, rx, p)
+		rx.EndSlot()
+	}
+	if got := rx.Health(); got != HealthDecoding {
+		t.Fatalf("after clean windows: health %v, want decoding", got)
+	}
+	if g := reg.Gauge("transport_health_state").Load(); g != int64(HealthDecoding) {
+		t.Errorf("health gauge %d, want %d", g, HealthDecoding)
+	}
+
+	// Forced burst: windows 2-3 are destroyed on the channel. The first
+	// slot that ends with the stream behind opens a gap episode.
+	rx.EndSlot()
+	if got := rx.Health(); got != HealthDegraded {
+		t.Fatalf("during burst: health %v, want degraded", got)
+	}
+	if g := reg.Gauge("transport_health_state").Load(); g != int64(HealthDegraded) {
+		t.Errorf("health gauge %d, want %d", g, HealthDegraded)
+	}
+	rx.EndSlot()
+
+	// The burst ends: window 4 is the scheduled key frame, buffered
+	// behind the gap until the no-NACK wait expires, then the stream
+	// abandons the lost windows and resynchronizes.
+	push(t, rx, pkts[4])
+	for i := 0; i < 4 && rx.Health() != HealthDecoding; i++ {
+		rx.EndSlot()
+	}
+	if got := rx.Health(); got != HealthDecoding {
+		t.Fatalf("after resync: health %v, want decoding (recovered)", got)
+	}
+	st := rx.Stats()
+	if st.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", st.Recoveries)
+	}
+	if c := reg.Counter("transport_recoveries_total").Load(); c != 1 {
+		t.Errorf("recoveries counter = %d, want 1", c)
+	}
+	if st.Abandoned == 0 || st.Gaps != 1 {
+		t.Errorf("burst accounting: %+v", st)
+	}
+
+	// Clean tail: stays decoding, no further gap episodes.
+	for _, p := range pkts[5:] {
+		push(t, rx, p)
+		rx.EndSlot()
+	}
+	if got := rx.Health(); got != HealthDecoding {
+		t.Errorf("clean tail: health %v, want decoding", got)
+	}
+	if got := rx.Stats().Gaps; got != 1 {
+		t.Errorf("gaps = %d, want 1", got)
+	}
+}
+
+// TestHealthGapRateWindow checks the sliding loss-rate observable decays
+// back to zero as clean slots push the burst out of the window.
+func TestHealthGapRateWindow(t *testing.T) {
+	enc, rx := transportRig(t, 4, TransportConfig{WaitWindows: 1})
+	pkts := encodeN(t, enc, recentSlots+8)
+
+	// Key the stream, then lose windows 1-2.
+	push(t, rx, pkts[0])
+	rx.EndSlot()
+	rx.EndSlot()
+	rx.EndSlot()
+	// Window 3 arrives; WaitWindows=1 abandons the hole immediately.
+	push(t, rx, pkts[3])
+	rx.EndSlot()
+	if got := rx.GapRate(); got == 0 {
+		t.Fatal("gap rate stayed zero through a burst")
+	}
+	// A full clean window of slots later the loss has aged out.
+	for i := 4; i < 4+recentSlots; i++ {
+		push(t, rx, pkts[i])
+		rx.EndSlot()
+	}
+	if got := rx.GapRate(); got != 0 {
+		t.Errorf("gap rate %v after %d clean slots, want 0", got, recentSlots)
+	}
+}

@@ -4,8 +4,43 @@ import (
 	"fmt"
 
 	"csecg/internal/core"
+	"csecg/internal/metrics"
 	"csecg/internal/telemetry"
 )
+
+// Health is the receiver's liveness summary — what the monitor's
+// /readyz endpoint reports for the stream.
+type Health int
+
+// Health states. The transition graph is Starting → Decoding (first
+// window reconstructed, i.e. the coordinator is keyed) and
+// Decoding ⇄ Degraded (a gap episode opens / the stream catches up).
+const (
+	// HealthStarting: no window decoded yet (awaiting the first key
+	// frame).
+	HealthStarting Health = iota
+	// HealthDecoding: keyed and caught up — the ready state.
+	HealthDecoding
+	// HealthDegraded: a gap episode is open (missing windows, resync in
+	// progress).
+	HealthDegraded
+)
+
+// String names the state.
+func (h Health) String() string {
+	switch h {
+	case HealthDecoding:
+		return "decoding"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "starting"
+	}
+}
+
+// recentSlots is the sliding window (in 2-second slots) of the
+// receiver's loss-rate observable feeding the quality estimator.
+const recentSlots = 32
 
 // TransportConfig tunes the coordinator's fault-tolerant receive path.
 // The zero value enables reorder buffering and duplicate suppression
@@ -70,6 +105,10 @@ type TransportStats struct {
 	NacksSent, KeyRequestsSent int
 	// Abandoned counts windows given up for good.
 	Abandoned int
+	// BadWindows counts decoded windows whose ground-truth-free quality
+	// estimate crossed the paper's 9 % PRDN boundary; Recoveries counts
+	// Degraded → Decoding health transitions.
+	BadWindows, Recoveries int
 	// LongestOutage is the longest run of consecutive undecoded
 	// windows.
 	LongestOutage int
@@ -95,6 +134,11 @@ func (s TransportStats) MeanRecovery() float64 {
 type Decoded struct {
 	Seq uint32
 	Res *Result
+	// EstPRDN is the window's ground-truth-free quality estimate
+	// (metrics.EstimatePRDN over the decode's observables) and Bad its
+	// classification against the paper's 9 % boundary.
+	EstPRDN float64
+	Bad     bool
 }
 
 // gapState tracks one stall episode.
@@ -129,6 +173,11 @@ type Receiver struct {
 	gap      *gapState
 	outage   int // current run of undecoded windows
 
+	// recent is the sliding per-slot lost-window ring behind the
+	// quality estimator's GapRate observable.
+	recent    [recentSlots]int
+	recentIdx int
+
 	stats TransportStats
 	met   *transportMetrics
 }
@@ -139,6 +188,10 @@ type transportMetrics struct {
 	received, decoded, duplicates, failures *telemetry.Counter
 	gaps, nacks, keyRequests, abandoned     *telemetry.Counter
 	recoverySlots                           *telemetry.Histogram
+	qualityWindows, qualityBad              *telemetry.Counter
+	estPRDNCenti                            *telemetry.Histogram
+	health                                  *telemetry.Gauge
+	recoveries                              *telemetry.Counter
 }
 
 // NewReceiver builds a receiver around the platform decoder.
@@ -159,15 +212,73 @@ func (r *Receiver) Instrument(reg *telemetry.Registry) {
 		return
 	}
 	r.met = &transportMetrics{
-		received:      reg.Counter("transport_received_total"),
-		decoded:       reg.Counter("transport_decoded_total"),
-		duplicates:    reg.Counter("transport_duplicates_total"),
-		failures:      reg.Counter("transport_decode_failures_total"),
-		gaps:          reg.Counter("transport_gaps_total"),
-		nacks:         reg.Counter("transport_nacks_sent_total"),
-		keyRequests:   reg.Counter("transport_key_requests_sent_total"),
-		abandoned:     reg.Counter("transport_abandoned_total"),
-		recoverySlots: reg.Histogram("transport_recovery_slots"),
+		received:       reg.Counter("transport_received_total"),
+		decoded:        reg.Counter("transport_decoded_total"),
+		duplicates:     reg.Counter("transport_duplicates_total"),
+		failures:       reg.Counter("transport_decode_failures_total"),
+		gaps:           reg.Counter("transport_gaps_total"),
+		nacks:          reg.Counter("transport_nacks_sent_total"),
+		keyRequests:    reg.Counter("transport_key_requests_sent_total"),
+		abandoned:      reg.Counter("transport_abandoned_total"),
+		recoverySlots:  reg.Histogram("transport_recovery_slots"),
+		qualityWindows: reg.Counter("quality_windows_total"),
+		qualityBad:     reg.Counter("quality_bad_windows_total"),
+		estPRDNCenti:   reg.Histogram("quality_est_prdn_centi"),
+		health:         reg.Gauge("transport_health_state"),
+		recoveries:     reg.Counter("transport_recoveries_total"),
+	}
+	reg.SetHelp("quality_windows_total", "decoded windows scored by the ground-truth-free quality estimator")
+	reg.SetHelp("quality_bad_windows_total", "windows whose estimated PRDN crossed the 9% diagnostic boundary")
+	reg.SetHelp("quality_est_prdn_centi", "estimated PRDN per decoded window, in 0.01% units")
+	reg.SetHelp("transport_health_state", "receiver health: 0 starting, 1 decoding, 2 degraded")
+	reg.SetHelp("transport_recoveries_total", "degraded-to-decoding health transitions")
+}
+
+// Health returns the receiver's current liveness state.
+func (r *Receiver) Health() Health {
+	switch {
+	case r.gap != nil:
+		return HealthDegraded
+	case r.stats.Decoded > 0:
+		return HealthDecoding
+	default:
+		return HealthStarting
+	}
+}
+
+// GapRate returns the recent loss fraction: windows lost (abandoned or
+// undecodable) over the last recentSlots window slots — the estimator's
+// transport observable.
+func (r *Receiver) GapRate() float64 {
+	lost := 0
+	for _, n := range r.recent {
+		lost += n
+	}
+	rate := float64(lost) / float64(recentSlots)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// noteLost attributes n lost windows to the current slot of the
+// sliding loss window.
+func (r *Receiver) noteLost(n int) {
+	r.recent[r.recentIdx] += n
+}
+
+// syncHealth publishes the health gauge and counts recoveries; callers
+// invoke it after any state-changing step.
+func (r *Receiver) syncHealth(before Health) {
+	now := r.Health()
+	if before == HealthDegraded && now == HealthDecoding {
+		r.stats.Recoveries++
+		if r.met != nil {
+			r.met.recoveries.Inc()
+		}
+	}
+	if r.met != nil {
+		r.met.health.Set(int64(now))
 	}
 }
 
@@ -188,6 +299,8 @@ func (r *Receiver) Push(pkt *core.Packet) ([]Decoded, error) {
 	if pkt.Kind.IsControl() {
 		return nil, fmt.Errorf("coordinator: control packet kind %d on the downlink", pkt.Kind)
 	}
+	before := r.Health()
+	defer func() { r.syncHealth(before) }()
 	r.stats.Received++
 	if r.met != nil {
 		r.met.received.Inc()
@@ -238,6 +351,7 @@ func (r *Receiver) drain() []Decoded {
 				r.met.failures.Inc()
 			}
 			r.bumpOutage(1)
+			r.noteLost(1)
 			continue
 		}
 		r.stats.Decoded++
@@ -248,10 +362,41 @@ func (r *Receiver) drain() []Decoded {
 		if res.Resynced {
 			r.stats.Resyncs++
 		}
-		out = append(out, Decoded{Seq: seq, Res: res})
+		out = append(out, r.score(Decoded{Seq: seq, Res: res}))
 	}
 	r.closeGapIfCaughtUp()
 	return out
+}
+
+// score attaches the ground-truth-free quality estimate to a released
+// window: the decoder's residual/convergence/escape observables plus
+// the transport's recent gap rate, through the calibrated estimator.
+func (r *Receiver) score(d Decoded) Decoded {
+	p := r.dec.Params()
+	esc := 0.0
+	if p.M > 0 {
+		esc = float64(d.Res.EscapeCount) / float64(p.M)
+	}
+	d.EstPRDN = metrics.EstimatePRDN(metrics.QualityObservables{
+		Residual:   d.Res.ResidualNorm,
+		M:          p.M,
+		N:          p.N,
+		Converged:  d.Res.Converged,
+		EscapeRate: esc,
+		GapRate:    r.GapRate(),
+	})
+	d.Bad = d.EstPRDN > metrics.GoodPRDN
+	if d.Bad {
+		r.stats.BadWindows++
+	}
+	if r.met != nil {
+		r.met.qualityWindows.Inc()
+		if d.Bad {
+			r.met.qualityBad.Inc()
+		}
+		r.met.estPRDNCenti.Observe(int64(d.EstPRDN * 100))
+	}
+	return d
 }
 
 // countDuplicate records one suppressed duplicate arrival.
@@ -299,6 +444,7 @@ func (r *Receiver) abandonTo(to uint32) []Decoded {
 		r.met.abandoned.Add(int64(n))
 	}
 	r.bumpOutage(n)
+	r.noteLost(n)
 	r.expected = to
 	// Drop buffered packets the jump overtook (deltas parked behind the
 	// key frame we skipped to): they are already counted abandoned, and
@@ -345,7 +491,11 @@ func (r *Receiver) minBuffered() (uint32, bool) {
 // window. It returns the control packets to send on the uplink, plus
 // any windows released by abandoning a hopeless gap.
 func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
+	before := r.Health()
+	defer func() { r.syncHealth(before) }()
 	r.slot++
+	r.recentIdx = (r.recentIdx + 1) % recentSlots
+	r.recent[r.recentIdx] = 0
 	if int(r.expected) >= r.slot && len(r.buf) == 0 {
 		// Fully caught up (gap already closed by drain).
 		return nil, nil
@@ -439,6 +589,8 @@ func (r *Receiver) missingCount() int {
 // Close finalizes the session: missing trailing windows are abandoned
 // and the last gap episode's latency is recorded.
 func (r *Receiver) Close() []Decoded {
+	before := r.Health()
+	defer func() { r.syncHealth(before) }()
 	var out []Decoded
 	// Each abandonBehindBuffer consumes at least the earliest buffered
 	// packet, so this terminates even across multiple holes.
@@ -452,6 +604,7 @@ func (r *Receiver) Close() []Decoded {
 			r.met.abandoned.Add(int64(n))
 		}
 		r.bumpOutage(n)
+		r.noteLost(n)
 		r.expected = uint32(r.slot)
 	}
 	r.closeGapIfCaughtUp()

@@ -32,6 +32,8 @@ type Decoder[T linalg.Float] struct {
 	haveWarm  bool
 	nextSeq   uint32
 	synced    bool
+	// lastEscapes counts the escape symbols of the packet being decoded.
+	lastEscapes int
 
 	// SolverOptions tunes the recovery. MaxIter is the real-time budget
 	// (Section V: 800 unoptimized, 2000 optimized); Vectorized selects
@@ -58,6 +60,14 @@ type DecodeResult[T linalg.Float] struct {
 	// Resynced is true when the packet was a key frame that recovered
 	// the stream after a gap.
 	Resynced bool
+	// ResidualNorm is the normalized final data residual
+	// ‖ΦΨα − y‖₂ / ‖y‖₂ — the decoder-side observable behind the
+	// ground-truth-free quality estimate (metrics.EstimatePRDN).
+	ResidualNorm float64
+	// EscapeCount is the number of escape-coded difference symbols in a
+	// delta packet (0 for key frames): out-of-codebook jumps that track
+	// signal nonstationarity on the mote.
+	EscapeCount int
 }
 
 // NewDecoder builds a decoder for the given parameters.
@@ -104,6 +114,7 @@ func (d *Decoder[T]) Params() Params { return d.p }
 // resynchronizes the measurement state.
 func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 	resynced := false
+	d.lastEscapes = 0
 	switch pkt.Kind {
 	case KindKey:
 		if err := d.decodeKey(pkt); err != nil {
@@ -156,6 +167,17 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 	d.warmAlpha = res.X
 	d.haveWarm = true
 
+	// Normalized data residual ‖Aα − y‖₂/‖y‖₂: one extra operator apply
+	// (≪ the solve's hundreds) buys the quality estimator its primary
+	// observable.
+	resid := make([]T, d.p.M)
+	d.a.Apply(resid, res.X)
+	linalg.Sub(resid, resid, y)
+	var residualNorm float64
+	if ny := float64(linalg.Norm2(y)); ny > 0 {
+		residualNorm = float64(linalg.Norm2(resid)) / ny
+	}
+
 	mv := make([]T, d.p.N)
 	d.psi.Inverse(mv, res.X)
 	samples := make([]int16, d.p.N)
@@ -163,11 +185,13 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 		samples[i] = clampADC(int32(roundT(v)) + ADCBaseline)
 	}
 	return &DecodeResult[T]{
-		Samples:    samples,
-		MV:         mv,
-		Iterations: res.Iterations,
-		Converged:  res.Converged,
-		Resynced:   resynced,
+		Samples:      samples,
+		MV:           mv,
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		Resynced:     resynced,
+		ResidualNorm: residualNorm,
+		EscapeCount:  d.lastEscapes,
 	}, nil
 }
 
@@ -196,6 +220,7 @@ func (d *Decoder[T]) decodeDelta(pkt *Packet) error {
 		}
 		var diff int32
 		if s == EscapeSymbol {
+			d.lastEscapes++
 			raw, err := r.ReadBits(24)
 			if err != nil {
 				return fmt.Errorf("core: reading escape value %d: %w", i, err)

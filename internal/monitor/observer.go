@@ -1,0 +1,59 @@
+// Package monitor is the fleet observability plane: live per-stream
+// status fed by RunStream, ground-truth-free quality accounting, SLO
+// burn-rate alerting, and an HTTP server exposing the whole thing as
+// /metrics (Prometheus text), /healthz, /readyz and /sessions.
+//
+// The paper argues its system on two observable quantities —
+// reconstruction quality (PRD ≤ 9 % is "good") and node energy — but a
+// deployed coordinator never has the original signal to compute PRD
+// against. This package consumes the decoder-side quality estimate
+// (metrics.EstimatePRDN) instead, tracks its bad-window rate against an
+// error budget, and serves the result to scrapes and dashboards while
+// the session runs.
+package monitor
+
+import "csecg/internal/coordinator"
+
+// WindowStatus is one decoded window's live status, pushed by RunStream
+// through the Observer hook on the modeled session timeline.
+type WindowStatus struct {
+	// Seq is the window sequence number.
+	Seq uint32
+	// EstPRDN is the ground-truth-free quality estimate (percent) and
+	// Bad its classification against the paper's 9 % boundary.
+	EstPRDN float64
+	Bad     bool
+	// Residual is the normalized FISTA data residual behind the
+	// estimate; Iterations and Converged summarize the solve.
+	Residual   float64
+	Iterations int
+	Converged  bool
+	// LatencyNs is the window's recovery latency: acquisition end to
+	// reconstruction available, including reorder/retransmit delays.
+	LatencyNs int64
+	// TimelineNs is the modeled session time of the update.
+	TimelineNs int64
+}
+
+// SlotStatus is the per-window-period transport snapshot, pushed once
+// per slot after the receiver's control-traffic turn.
+type SlotStatus struct {
+	// Slot counts window periods; Windows the windows produced so far.
+	Slot, Windows int
+	// Health is the receiver's liveness state (the /readyz input).
+	Health coordinator.Health
+	// Decoded/Abandoned/Gaps/Recoveries mirror TransportStats.
+	Decoded, Abandoned, Gaps, Recoveries int
+	// GapRate is the sliding recent-loss fraction.
+	GapRate float64
+	// TimelineNs is the modeled session time of the slot end.
+	TimelineNs int64
+}
+
+// Observer receives live stream updates. RunStream calls it inline on
+// the streaming goroutine, so implementations must be fast and must do
+// their own locking if read concurrently (Session does both).
+type Observer interface {
+	OnWindow(WindowStatus)
+	OnSlot(SlotStatus)
+}

@@ -1,0 +1,147 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"csecg/internal/coordinator"
+	"csecg/internal/telemetry"
+)
+
+// Server is the observability HTTP plane. Sessions are attached as the
+// fleet spins up streams; the handler serves Prometheus text on
+// /metrics, liveness on /healthz, readiness on /readyz, and per-stream
+// JSON on /sessions.
+type Server struct {
+	clock   telemetry.Clock
+	startNs int64
+
+	// Sessions live in an append-only slice so every export walks them
+	// in attach order — no map iteration anywhere near the wire format.
+	mu       sync.Mutex
+	sessions []*Session
+}
+
+// NewServer builds a server. clock (nil → telemetry.WallClock) stamps
+// uptime; inject a ManualClock in tests.
+func NewServer(clock telemetry.Clock) *Server {
+	if clock == nil {
+		clock = telemetry.WallClock{}
+	}
+	return &Server{clock: clock, startNs: clock.Now()}
+}
+
+// Attach registers a session with the plane.
+func (s *Server) Attach(ses *Session) {
+	s.mu.Lock()
+	s.sessions = append(s.sessions, ses)
+	s.mu.Unlock()
+}
+
+// snapshot returns the current session list.
+func (s *Server) snapshot() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Session(nil), s.sessions...)
+}
+
+// Handler returns the plane's mux: /metrics, /healthz, /readyz,
+// /sessions.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	return mux
+}
+
+// send writes a fully-buffered response; a broken scrape connection is
+// the client's problem, not ours.
+func send(w http.ResponseWriter, status int, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		return // client went away mid-response; nothing to clean up
+	}
+}
+
+// handleMetrics renders every session's registry with a session label,
+// concatenated into one exposition document.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b bytes.Buffer
+	for _, ses := range s.snapshot() {
+		if err := telemetry.WritePrometheusLabeled(&b, ses.Registry(),
+			telemetry.Label{Key: "session", Value: ses.Name()}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	send(w, http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", b.Bytes())
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	uptime := s.clock.Now() - s.startNs
+	send(w, http.StatusOK, "application/json",
+		[]byte(fmt.Sprintf("{\"status\":\"ok\",\"uptime_ns\":%d,\"sessions\":%d}\n",
+			uptime, len(s.snapshot()))))
+}
+
+// Ready reports readiness: at least one session is attached and every
+// unfinished session's coordinator is keyed and decoding. A degraded
+// or still-starting stream makes the plane not ready; finished
+// sessions stop gating.
+func (s *Server) Ready() (bool, string) {
+	sessions := s.snapshot()
+	if len(sessions) == 0 {
+		return false, "no sessions attached"
+	}
+	live := 0
+	for _, ses := range sessions {
+		if ses.Finished() {
+			continue
+		}
+		live++
+		if h := ses.Health(); h != coordinator.HealthDecoding {
+			return false, fmt.Sprintf("session %q %s", ses.Name(), h)
+		}
+	}
+	if live == 0 {
+		return true, "all sessions finished"
+	}
+	return true, "decoding"
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reason := s.Ready()
+	status := http.StatusOK
+	state := "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		state = "not ready"
+	}
+	body, err := json.Marshal(map[string]string{"status": state, "reason": reason})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	send(w, status, "application/json", append(body, '\n'))
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	sessions := s.snapshot()
+	statuses := make([]SessionStatus, 0, len(sessions))
+	for _, ses := range sessions {
+		statuses = append(statuses, ses.Snapshot())
+	}
+	body, err := json.MarshalIndent(statuses, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	send(w, http.StatusOK, "application/json", append(body, '\n'))
+}

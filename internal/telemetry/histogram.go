@@ -136,6 +136,60 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// Quantiles estimates several quantiles in one pass over the buckets.
+// qs must be sorted ascending in [0, 1]; the result aligns with qs.
+// Each estimate interpolates linearly inside the containing log2
+// bucket, so it lies within the bucket's [low, high] bounds — at most
+// 2× away from the exact order statistic (the error-bound test pins
+// this).
+//
+//csecg:host percentile/mean math runs on the host at export time
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	n := h.count.Load()
+	if n == 0 {
+		return out
+	}
+	max := h.max.Load()
+	var counts [NumBuckets]int64
+	for b := range counts {
+		counts[b] = h.buckets[b].Load()
+	}
+	b, cum := 0, int64(0)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := int64(math.Ceil(q * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		for ; b < NumBuckets; b++ {
+			c := counts[b]
+			if c > 0 && cum+c >= rank {
+				lo, hi := BucketLow(b), BucketHigh(b)
+				if hi > max {
+					hi = max // the tail bucket cannot exceed the observed max
+				}
+				if hi < lo {
+					hi = lo
+				}
+				frac := float64(rank-cum) / float64(c)
+				out[i] = lo + int64(frac*float64(hi-lo))
+				break
+			}
+			cum += c
+		}
+		if b == NumBuckets {
+			out[i] = max
+		}
+	}
+	return out
+}
+
 // Summary condenses a histogram for reports.
 type Summary struct {
 	// Count and Sum aggregate the raw integer observations.
@@ -151,12 +205,13 @@ type Summary struct {
 //
 //csecg:host percentile/mean math runs on the host at export time
 func (h *Histogram) Summarize() Summary {
+	qs := h.Quantiles(0.50, 0.95, 0.99)
 	return Summary{
 		Count: h.Count(),
 		Sum:   h.Sum(),
 		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		P50:   qs[0],
+		P95:   qs[1],
+		P99:   qs[2],
 	}
 }

@@ -6,6 +6,80 @@ import (
 	"strings"
 )
 
+// Label is one Prometheus label pair attached to every sample of a
+// labeled export (WritePrometheusLabeled). Values are escaped per the
+// text exposition format at write time, so any string is safe.
+type Label struct {
+	Key, Value string
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and line feed.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a # HELP docstring: backslash and line feed (the
+// format leaves double quotes alone outside label values).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelSet renders the shared labels as a `{k="v",...}` block ("" when
+// empty); extra, when non-empty, is appended verbatim as a final
+// pre-escaped pair (the histogram "le" bound).
+func labelSet(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", l.Key, escapeLabelValue(l.Value))
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus dumps the registry in the Prometheus text exposition
 // format: counters and gauges as single samples, histograms as
 // cumulative le-bucketed series with _sum and _count. Output is sorted
@@ -13,16 +87,35 @@ import (
 //
 //csecg:host export-time formatting
 func WritePrometheus(w io.Writer, r *Registry) error {
+	return WritePrometheusLabeled(w, r)
+}
+
+// WritePrometheusLabeled is WritePrometheus with a fixed label set
+// attached to every sample — the monitor's multi-session /metrics
+// endpoint distinguishes streams with a session label this way. Label
+// values and # HELP text are escaped per the exposition format.
+//
+//csecg:host export-time formatting
+func WritePrometheusLabeled(w io.Writer, r *Registry, labels ...Label) error {
+	ls := labelSet(labels, "")
 	var b strings.Builder
+	writeHelp := func(name string) {
+		if help := r.Help(name); help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+	}
 	for _, name := range r.CounterNames() {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Load())
+		writeHelp(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s%s %d\n", name, name, ls, r.Counter(name).Load())
 	}
 	for _, name := range r.GaugeNames() {
 		g := r.Gauge(name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n%s_max %d\n", name, name, g.Load(), name, g.Max())
+		writeHelp(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s %d\n%s_max%s %d\n", name, name, ls, g.Load(), name, ls, g.Max())
 	}
 	for _, name := range r.HistogramNames() {
 		h := r.Histogram(name)
+		writeHelp(name)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
 		var cum int64
 		top := 0
@@ -33,10 +126,11 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		}
 		for bkt := 0; bkt <= top; bkt++ {
 			cum += h.Bucket(bkt)
-			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, BucketHigh(bkt), cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name,
+				labelSet(labels, fmt.Sprintf("le=\"%d\"", BucketHigh(bkt))), cum)
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count())
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", name, labelSet(labels, `le="+Inf"`), h.Count())
+		fmt.Fprintf(&b, "%s_sum%s %d\n%s_count%s %d\n", name, ls, h.Sum(), name, ls, h.Count())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEscaping drives the exporter with help text and label
+// values containing every character the exposition format requires
+// escaping — quotes, backslashes and newlines — and checks the escaped
+// forms land on the wire.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("windows_total").Add(3)
+	r.SetHelp("windows_total", "windows \"decoded\"\nper session C:\\path")
+	var b strings.Builder
+	err := WritePrometheusLabeled(&b, r,
+		Label{Key: "session", Value: `rec "100"` + "\n" + `C:\data`},
+		Label{Key: "mode", Value: "NEON"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantHelp := `# HELP windows_total windows "decoded"\nper session C:\\path` + "\n"
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	wantSample := `windows_total{session="rec \"100\"\nC:\\data",mode="NEON"} 3`
+	if !strings.Contains(out, wantSample) {
+		t.Errorf("label value not escaped, want %q in:\n%s", wantSample, out)
+	}
+	// A raw newline inside a sample line would corrupt the format: every
+	// line must start with # or the metric name.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" || !(strings.HasPrefix(line, "#") || strings.HasPrefix(line, "windows_total")) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestPrometheusLabeledHistogram checks that the shared labels compose
+// with the le bound on every bucket line.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	h.Observe(3)
+	h.Observe(100)
+	r.Gauge("depth").Set(7)
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, r, Label{Key: "s", Value: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_ns_bucket{s="x",le="3"} 1`,
+		`lat_ns_bucket{s="x",le="+Inf"} 2`,
+		`lat_ns_sum{s="x"} 103`,
+		`lat_ns_count{s="x"} 2`,
+		`depth{s="x"} 7`,
+		`depth_max{s="x"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusUnlabeledUnchanged pins the unlabeled format so
+// existing -metrics consumers keep parsing.
+func TestPrometheusUnlabeledUnchanged(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE c_total counter\nc_total 1\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}

@@ -14,6 +14,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -22,7 +23,23 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
 	}
+}
+
+// SetHelp attaches a # HELP docstring to the named metric; exporters
+// escape it per the exposition format, so any string is safe.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// Help returns the metric's docstring ("" when unset).
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
 }
 
 // Counter returns the named counter, creating it on first use.

@@ -9,6 +9,7 @@ import (
 	"csecg/internal/energy"
 	"csecg/internal/link"
 	"csecg/internal/metrics"
+	"csecg/internal/monitor"
 	"csecg/internal/mote"
 	"csecg/internal/telemetry"
 )
@@ -60,6 +61,10 @@ type StreamConfig struct {
 	// Clock times the host-side solve for the wall-time histogram
 	// (nil → telemetry.WallClock; inject a ManualClock in tests).
 	Clock telemetry.Clock
+	// Observer, when non-nil, receives live per-window quality/latency
+	// status and per-slot transport health on the modeled timeline —
+	// the feed behind the monitor plane's /readyz and /sessions.
+	Observer monitor.Observer
 }
 
 // StreamReport aggregates a session.
@@ -73,6 +78,13 @@ type StreamReport struct {
 	// MeanPRDN and WorstPRDN summarize reconstruction quality over the
 	// successfully decoded windows (excluding the cold-start window).
 	MeanPRDN, WorstPRDN float64
+	// MeanEstPRDN and BadWindows summarize the ground-truth-free
+	// quality estimate over every decoded window: what a deployed
+	// coordinator — which never sees the original signal — would
+	// report. BadWindows counts estimates past the paper's 9 % "good"
+	// boundary.
+	MeanEstPRDN float64
+	BadWindows  int
 	// WireCR is the overall compression ratio of Eq. (7) including
 	// packet framing, against 12-bit raw streaming.
 	WireCR float64
@@ -234,6 +246,8 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	var rawBits, compBits int
 	var sumPRDN float64
 	var prCount int
+	var sumEst float64
+	var estCount int
 	var sumIters int64
 	var decodeTimes []float64
 	var sumDecode time.Duration
@@ -292,7 +306,25 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			stageHist[telemetry.StageFISTA].Observe(fistaNs)
 			stageHist[telemetry.StageReconstruct].Observe(reconstructNs)
 			// Per-window recovery latency: acquisition end → samples ready.
-			latHist.Observe(decodeFreeAt - (int64(d.Seq)+1)*windowNs)
+			latency := decodeFreeAt - (int64(d.Seq)+1)*windowNs
+			latHist.Observe(latency)
+			sumEst += d.EstPRDN
+			estCount++
+			if d.Bad {
+				rep.BadWindows++
+			}
+			if cfg.Observer != nil {
+				cfg.Observer.OnWindow(monitor.WindowStatus{
+					Seq:        d.Seq,
+					EstPRDN:    d.EstPRDN,
+					Bad:        d.Bad,
+					Residual:   d.Res.ResidualNorm,
+					Iterations: d.Res.Iterations,
+					Converged:  d.Res.Converged,
+					LatencyNs:  latency,
+					TimelineNs: decodeFreeAt,
+				})
+			}
 			if tr != nil {
 				seqArg := telemetry.I("seq", int64(d.Seq))
 				tr.Span(ses.Coordinator, tidBuffer, telemetry.StageReassemble, telemetry.CatWindow,
@@ -458,6 +490,20 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 				return nil, err
 			}
 		}
+		if cfg.Observer != nil {
+			st := rx.Stats()
+			cfg.Observer.OnSlot(monitor.SlotStatus{
+				Slot:       rep.Windows,
+				Windows:    rep.Windows,
+				Health:     rx.Health(),
+				Decoded:    st.Decoded,
+				Abandoned:  st.Abandoned,
+				Gaps:       st.Gaps,
+				Recoveries: st.Recoveries,
+				GapRate:    rx.GapRate(),
+				TimelineNs: nowNs,
+			})
+		}
 	}
 	if rep.Windows == 0 {
 		return nil, fmt.Errorf("csecg: record shorter than one window")
@@ -468,12 +514,29 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		return nil, err
 	}
 	score(rx.Close())
+	if cfg.Observer != nil {
+		st := rx.Stats()
+		cfg.Observer.OnSlot(monitor.SlotStatus{
+			Slot:       rep.Windows,
+			Windows:    rep.Windows,
+			Health:     rx.Health(),
+			Decoded:    st.Decoded,
+			Abandoned:  st.Abandoned,
+			Gaps:       st.Gaps,
+			Recoveries: st.Recoveries,
+			GapRate:    rx.GapRate(),
+			TimelineNs: nowNs,
+		})
+	}
 
 	rep.Transport = rx.Stats()
 	rep.Decoded = rep.Transport.Decoded
 	rep.Retransmits = m.Retransmits()
 	if prCount > 0 {
 		rep.MeanPRDN = sumPRDN / float64(prCount)
+	}
+	if estCount > 0 {
+		rep.MeanEstPRDN = sumEst / float64(estCount)
 	}
 	if rep.Decoded > 0 {
 		rep.MeanIterations = float64(sumIters) / float64(rep.Decoded)
