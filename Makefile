@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench perf perf-gate
+.PHONY: check vet lint build test race chaos fuzz-smoke bench perf perf-gate
 
-check: vet lint build test race fuzz-smoke
+check: vet lint build test race chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,12 @@ test:
 # themselves under -short.
 race:
 	$(GO) test -race -short ./...
+
+# chaos runs the survival-layer acceptance matrix (bit flips, burst
+# loss, mote reboot, CPU slowdown, decode panics, clock drift) at CI
+# smoke size; it exits nonzero on any survival-contract violation.
+chaos:
+	$(GO) run ./cmd/csecg-bench -exp chaos -short
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzPacketStream -fuzztime=10s -run=FuzzPacketStream ./internal/core

@@ -21,9 +21,14 @@
 //	csecg-bench -json BENCH.json                  # machine-readable perf suite
 //	csecg-bench -compare BENCH_4.json             # fail on >15% normalized regression
 //
+// Robustness:
+//
+//	csecg-bench -exp chaos                        # full survival matrix
+//	csecg-bench -exp chaos -short                 # CI smoke (shrunk sessions)
+//
 // Paper experiments: fig2, fig6, fig7, encoder, memory, speedup, cpu,
 // lifetime, convergence. Extensions: resilience, transport, baseline,
-// analog, diagnostic, holter-report. Ablations: ablation-basis,
+// analog, diagnostic, holter-report, chaos. Ablations: ablation-basis,
 // ablation-wavelet, ablation-solver, ablation-redundancy,
 // ablation-huffman, ablation-shift.
 package main
@@ -77,6 +82,7 @@ func run() int {
 		jsonFile    = flag.String("json", "", "run the perf suite and write the machine-readable summary to this file ('-' for stdout)")
 		compareFile = flag.String("compare", "", "run the perf suite and fail on normalized regressions against this baseline summary")
 		tolerance   = flag.Float64("tolerance", bench.DefaultTolerance, "allowed normalized-time growth before -compare fails")
+		short       = flag.Bool("short", false, "shrink long-running experiments (chaos) to CI-smoke size")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -265,6 +271,17 @@ func run() int {
 			r, err := experiments.HuffmanAblation()
 			if err != nil {
 				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"chaos", func() (*experiments.Table, error) {
+			r, err := experiments.Chaos(*short)
+			if err != nil {
+				return nil, err
+			}
+			if fails := r.Failures(); len(fails) > 0 {
+				fmt.Println(r.Table().Render())
+				return nil, fmt.Errorf("survival contract violated: %s", strings.Join(fails, "; "))
 			}
 			return r.Table(), nil
 		}},

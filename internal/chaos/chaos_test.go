@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"testing"
+
+	"csecg/internal/coordinator"
+)
+
+// TestChaosMatrixDegradesGracefully pins the acceptance criterion: the
+// full fault matrix — bit flips at ≥1e-4 BER, burst loss, a mote
+// reboot mid-stream, a 2× solver slowdown under burst arrival, decode
+// panics, clock drift, and all of it at once — completes with zero
+// escaped panics, a bounded queue, p99 decode within the packet
+// period, and the session back to decoding health.
+func TestChaosMatrixDegradesGracefully(t *testing.T) {
+	for _, sc := range Matrix(testing.Short()) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Survived(sc.withDefaults().QueueLimit); err != nil {
+				t.Fatalf("%v\nreport: %+v", err, rep)
+			}
+			if rep.ContainedPanics != rep.EscapedPanics && rep.EscapedPanics != 0 {
+				t.Fatalf("panic accounting inconsistent: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestChaosScenariosExerciseTheirFaults checks each scenario actually
+// triggered the machinery it exists to prove — a matrix whose faults
+// never fire proves nothing.
+func TestChaosScenariosExerciseTheirFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix only")
+	}
+	reports := map[string]*Report{}
+	for _, sc := range Matrix(false) {
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[sc.Name] = rep
+	}
+	if r := reports["bitflip"]; r.CRCRejected == 0 {
+		t.Errorf("bitflip scenario rejected no frames: %+v", r)
+	}
+	if r := reports["burst-loss"]; r.Abandoned == 0 {
+		t.Errorf("burst-loss scenario lost nothing: %+v", r)
+	}
+	if r := reports["reboot"]; r.Reboots != 1 {
+		t.Errorf("reboot scenario saw %d resyncs, want 1", r.Reboots)
+	}
+	if r := reports["slowdown-burst"]; r.MaxRung == coordinator.RungNominal {
+		t.Errorf("slowdown scenario never engaged the ladder: %+v", r)
+	} else if r.DegradedWindows == 0 {
+		t.Errorf("slowdown scenario flagged no degraded windows: %+v", r)
+	}
+	if r := reports["panic-inject"]; r.ContainedPanics == 0 {
+		t.Errorf("panic scenario contained no panics: %+v", r)
+	}
+	if r := reports["clock-drift"]; r.DriftSlips == 0 || r.DriftSkew == 0 {
+		t.Errorf("drift scenario accrued no skew: %+v", r)
+	}
+	if r := reports["kitchen-sink"]; r.ContainedPanics == 0 || r.Reboots != 1 {
+		t.Errorf("kitchen-sink scenario too gentle: %+v", r)
+	}
+}
+
+// TestChaosRunDeterministic: identical scenarios produce identical
+// reports — the harness is replayable by construction.
+func TestChaosRunDeterministic(t *testing.T) {
+	sc := Matrix(true)[7] // kitchen-sink
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("non-deterministic run:\n%+v\n%+v", a, b)
+	}
+}

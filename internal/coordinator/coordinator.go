@@ -153,6 +153,14 @@ type RealTimeDecoder struct {
 	totalModeled time.Duration
 	packets      int64
 
+	// baseMaxIter is the nominal (RungNominal) iteration budget; the
+	// degradation ladder divides it per rung.
+	baseMaxIter int
+	lad         ladder
+	// solveBudgetNs, when nonzero, arms the solver's soft wall-clock
+	// deadline for each decode (EnableSolveDeadline).
+	solveBudgetNs int64
+
 	met       *decoderMetrics
 	clock     telemetry.Clock
 	iterTrace bool
@@ -163,6 +171,8 @@ type RealTimeDecoder struct {
 // into.
 type decoderMetrics struct {
 	decodes, failures, deadlineMisses  *telemetry.Counter
+	degraded, rungShifts               *telemetry.Counter
+	rung                               *telemetry.Gauge
 	iterations, modeledNs, solveWallNs *telemetry.Histogram
 }
 
@@ -177,8 +187,30 @@ func NewRealTimeDecoder(p core.Params, mode Mode) (*RealTimeDecoder, error) {
 	costs := DefaultCosts()
 	dec.SolverOptions.Vectorized = mode == NEON
 	dec.SolverOptions.MaxIter = costs.IterationBudget(dec.Params(), mode, RealTimeBudgetSeconds)
-	return &RealTimeDecoder{dec: dec, costs: costs, mode: mode}, nil
+	return &RealTimeDecoder{dec: dec, costs: costs, mode: mode, baseMaxIter: dec.SolverOptions.MaxIter}, nil
 }
+
+// SetCosts overrides the cycle-cost calibration — the chaos harness
+// models a slowed CPU (thermal throttling, contention) this way. The
+// iteration budget is left at the nominal calibration, so a slowdown
+// makes decodes miss their modeled deadline and engages the
+// degradation ladder.
+func (r *RealTimeDecoder) SetCosts(c CostModel) { r.costs = c }
+
+// Costs returns the cycle-cost calibration in use.
+func (r *RealTimeDecoder) Costs() CostModel { return r.costs }
+
+// EnableSolveDeadline arms a soft wall-clock deadline of budget per
+// decode on the instrumented clock: the solver stops at the deadline
+// and the window is released with its best-so-far reconstruction,
+// flagged Degraded. Call after Instrument when a deterministic clock is
+// wanted; without Instrument the wall clock is used.
+func (r *RealTimeDecoder) EnableSolveDeadline(budget time.Duration) {
+	r.solveBudgetNs = int64(budget)
+}
+
+// Rung returns the degradation ladder's current rung.
+func (r *RealTimeDecoder) Rung() Rung { return r.lad.rung }
 
 // Instrument attaches session telemetry. The clock times the actual
 // host-side solve (nil → telemetry.WallClock); inject a ManualClock for
@@ -196,10 +228,16 @@ func (r *RealTimeDecoder) Instrument(reg *telemetry.Registry, clock telemetry.Cl
 		decodes:        reg.Counter("coordinator_decodes_total"),
 		failures:       reg.Counter("coordinator_decode_failures_total"),
 		deadlineMisses: reg.Counter("coordinator_deadline_misses_total"),
+		degraded:       reg.Counter("coordinator_degraded_windows_total"),
+		rungShifts:     reg.Counter("coordinator_rung_shifts_total"),
+		rung:           reg.Gauge("coordinator_degradation_rung"),
 		iterations:     reg.Histogram("coordinator_iterations"),
 		modeledNs:      reg.Histogram("coordinator_decode_modeled_ns"),
 		solveWallNs:    reg.Histogram("coordinator_solve_wall_ns"),
 	}
+	reg.SetHelp("coordinator_degraded_windows_total", "windows released with reduced-quality reconstruction (ladder rung > nominal or solver deadline cut)")
+	reg.SetHelp("coordinator_rung_shifts_total", "degradation ladder transitions in either direction")
+	reg.SetHelp("coordinator_degradation_rung", "current ladder rung: 0 nominal, 1 reduced-iter, 2 gpsr, 3 best-effort")
 }
 
 // EnableIterationTrace makes every decode collect the solver's
@@ -236,12 +274,34 @@ type Result struct {
 	// IterTrace carries the solver's per-iteration telemetry when
 	// EnableIterationTrace was called.
 	IterTrace []solver.IterSample
+	// Rung is the degradation-ladder rung this window decoded at.
+	Rung Rung
+	// Degraded marks a reduced-quality release: the ladder was off
+	// nominal, or the solver's soft deadline cut the recovery short.
+	// The samples are still clinically displayable best-so-far output.
+	Degraded bool
 }
 
-// Decode processes one packet.
+// Decode processes one packet at the ladder's current rung.
 func (r *RealTimeDecoder) Decode(pkt *core.Packet) (*Result, error) {
 	if r.iterTrace {
 		r.curTrace = r.curTrace[:0]
+	}
+	rung := r.lad.rung
+	s := rungSettings[rung]
+	r.dec.Algorithm = s.algo
+	if iter := r.baseMaxIter / s.iterDiv; iter >= 1 {
+		r.dec.SolverOptions.MaxIter = iter
+	} else {
+		r.dec.SolverOptions.MaxIter = 1
+	}
+	if r.solveBudgetNs > 0 {
+		clk := r.clock
+		if clk == nil {
+			clk = telemetry.WallClock{}
+		}
+		r.dec.SolverOptions.Now = clk.Now
+		r.dec.SolverOptions.DeadlineNs = clk.Now() + r.solveBudgetNs
 	}
 	var start int64
 	if r.met != nil {
@@ -268,15 +328,25 @@ func (r *RealTimeDecoder) Decode(pkt *core.Packet) (*Result, error) {
 		CPUUsage:      modeled.Seconds() / period,
 		Deadline:      modeled.Seconds() <= RealTimeBudgetSeconds,
 		SolveWallTime: wall,
+		Rung:          rung,
 	}
+	out.Degraded = rung != RungNominal || res.DeadlineExpired
 	if r.iterTrace && len(r.curTrace) > 0 {
 		out.IterTrace = append([]solver.IterSample(nil), r.curTrace...)
 	}
+	shifted := r.lad.observe(out.Deadline)
 	if r.met != nil {
 		r.met.decodes.Inc()
 		if !out.Deadline {
 			r.met.deadlineMisses.Inc()
 		}
+		if out.Degraded {
+			r.met.degraded.Inc()
+		}
+		if shifted {
+			r.met.rungShifts.Inc()
+		}
+		r.met.rung.Set(int64(r.lad.rung))
 		r.met.iterations.Observe(int64(res.Iterations))
 		r.met.modeledNs.Observe(int64(modeled))
 		r.met.solveWallNs.Observe(int64(wall))

@@ -66,6 +66,15 @@ type TransportConfig struct {
 	// late (reordered) arrivals before abandoning the missing windows
 	// (default 2).
 	WaitWindows int
+	// QueueLimit bounds the admission queue between in-order release
+	// and the decoder (default 16): under burst arrival a slow solver
+	// sheds load instead of growing unbounded memory.
+	QueueLimit int
+	// DecodesPerSlot caps decodes per window slot, modeling the
+	// coordinator's finite CPU under burst arrival; admitted windows
+	// beyond the cap wait in the queue. 0 (the default) decodes every
+	// admitted window immediately.
+	DecodesPerSlot int
 }
 
 // withDefaults fills zero fields.
@@ -81,6 +90,9 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	}
 	if c.WaitWindows == 0 {
 		c.WaitWindows = 2
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 16
 	}
 	return c
 }
@@ -115,6 +127,20 @@ type TransportStats struct {
 	// RecoveryWindows is the per-gap recovery latency distribution:
 	// window slots from gap detection to stream catch-up.
 	RecoveryWindows []int
+	// Rejected counts frames the ingest integrity check (CRC/framing)
+	// refused — corruption stopped before the decoder.
+	Rejected int
+	// DecodePanics counts panics contained in the decode path: the
+	// window is lost, the session survives.
+	DecodePanics int
+	// Shed counts admitted windows dropped by the bounded queue's
+	// load-shedding policy (oldest non-key first).
+	Shed int
+	// QueuePeak is the admission queue's high-water mark.
+	QueuePeak int
+	// Reboots counts mote restarts (sequence reset mid-stream) the
+	// receiver resynchronized to.
+	Reboots int
 }
 
 // MeanRecovery returns the mean gap-recovery latency in windows.
@@ -152,26 +178,44 @@ type gapState struct {
 	passive    bool // exhausted; awaiting the scheduled key frame
 }
 
+// Decoder abstracts the platform decoder the receiver releases windows
+// to. *RealTimeDecoder is the production implementation; the chaos
+// harness wraps it with fault injectors (panics, stalls) to exercise
+// the containment path.
+type Decoder interface {
+	Decode(pkt *core.Packet) (*Result, error)
+	Params() core.Params
+}
+
 // Receiver is the coordinator's transport endpoint: it ingests packets
 // off the (lossy, reordering, duplicating) link, releases windows to
-// the RealTimeDecoder strictly in order, and drives the NACK resync
-// state machine. Call Push for every arriving packet, EndSlot once per
+// the platform decoder strictly in order through a bounded admission
+// queue, and drives the NACK resync state machine. Call Push (or
+// IngestFrame for raw wire frames) for every arrival, EndSlot once per
 // window period (its return is the control traffic to send uplink), and
 // Close when the stream ends.
 //
 // The receiver is not safe for concurrent use; one goroutine must own
 // it.
 type Receiver struct {
-	dec *RealTimeDecoder
+	dec Decoder
 	cfg TransportConfig
 
-	expected uint32 // next sequence number to release
-	maxSeen  uint32 // highest sequence number observed
+	expected uint32 // next sequence number (current epoch) to release
+	maxSeen  uint32 // highest sequence number observed (current epoch)
 	anySeen  bool
 	slot     int // window slots elapsed = windows produced by the mote
-	buf      map[uint32]*core.Packet
-	gap      *gapState
-	outage   int // current run of undecoded windows
+	// epoch is the slot at which the current mote boot's sequence 0
+	// aligns: a mote reboot resets the wire sequence mid-stream, and
+	// slot-versus-sequence comparisons use epoch + seq.
+	epoch int
+	buf   map[uint32]*core.Packet
+	// queue is the bounded admission queue between in-order release and
+	// the decoder; decodesLeft is the per-slot decode budget remaining.
+	queue       []*core.Packet
+	decodesLeft int
+	gap         *gapState
+	outage      int // current run of undecoded windows
 
 	// recent is the sliding per-slot lost-window ring behind the
 	// quality estimator's GapRate observable.
@@ -192,10 +236,12 @@ type transportMetrics struct {
 	estPRDNCenti                            *telemetry.Histogram
 	health                                  *telemetry.Gauge
 	recoveries                              *telemetry.Counter
+	rejected, panics, shed, reboots         *telemetry.Counter
+	queueDepth                              *telemetry.Gauge
 }
 
 // NewReceiver builds a receiver around the platform decoder.
-func NewReceiver(dec *RealTimeDecoder, cfg TransportConfig) *Receiver {
+func NewReceiver(dec Decoder, cfg TransportConfig) *Receiver {
 	return &Receiver{
 		dec: dec,
 		cfg: cfg.withDefaults(),
@@ -226,7 +272,17 @@ func (r *Receiver) Instrument(reg *telemetry.Registry) {
 		estPRDNCenti:   reg.Histogram("quality_est_prdn_centi"),
 		health:         reg.Gauge("transport_health_state"),
 		recoveries:     reg.Counter("transport_recoveries_total"),
+		rejected:       reg.Counter("transport_crc_rejected_total"),
+		panics:         reg.Counter("transport_decode_panics_total"),
+		shed:           reg.Counter("transport_shed_total"),
+		reboots:        reg.Counter("transport_reboots_total"),
+		queueDepth:     reg.Gauge("transport_queue_depth"),
 	}
+	reg.SetHelp("transport_crc_rejected_total", "wire frames refused by the ingest CRC/framing check")
+	reg.SetHelp("transport_decode_panics_total", "decode panics contained to their window")
+	reg.SetHelp("transport_shed_total", "windows dropped by admission-queue load shedding")
+	reg.SetHelp("transport_reboots_total", "mote sequence resets resynchronized mid-stream")
+	reg.SetHelp("transport_queue_depth", "admission queue depth after the last pump")
 	reg.SetHelp("quality_windows_total", "decoded windows scored by the ground-truth-free quality estimator")
 	reg.SetHelp("quality_bad_windows_total", "windows whose estimated PRDN crossed the 9% diagnostic boundary")
 	reg.SetHelp("quality_est_prdn_centi", "estimated PRDN per decoded window, in 0.01% units")
@@ -289,6 +345,33 @@ func (r *Receiver) Stats() TransportStats {
 	return s
 }
 
+// ParseFrame parses one wire frame, enforcing the CRC at ingest: a
+// frame the integrity check refuses is counted (stats.Rejected,
+// transport_crc_rejected_total) and never reaches the decoder.
+func (r *Receiver) ParseFrame(frame []byte) (*core.Packet, error) {
+	pkt, _, err := core.UnmarshalPacket(frame)
+	if err != nil {
+		r.stats.Rejected++
+		if r.met != nil {
+			r.met.rejected.Inc()
+		}
+		return nil, err
+	}
+	return pkt, nil
+}
+
+// IngestFrame parses and pushes one wire frame. A corrupt frame is
+// counted and dropped (equivalent to a channel loss — the gap machinery
+// recovers it); the error return is reserved for protocol violations
+// from Push.
+func (r *Receiver) IngestFrame(frame []byte) ([]Decoded, error) {
+	pkt, err := r.ParseFrame(frame)
+	if err != nil {
+		return nil, nil
+	}
+	return r.Push(pkt)
+}
+
 // Push ingests one packet from the link, returning any windows released
 // (in sequence order). Control-kind packets are rejected — they belong
 // on the uplink.
@@ -304,6 +387,13 @@ func (r *Receiver) Push(pkt *core.Packet) ([]Decoded, error) {
 	r.stats.Received++
 	if r.met != nil {
 		r.met.received.Inc()
+	}
+	// A key frame restarting the sequence space far behind the release
+	// point is a mote reboot, not a stale duplicate: resynchronize the
+	// epoch instead of silently discarding the new boot's stream.
+	if pkt.Kind == core.KindKey && pkt.Seq == 0 && r.anySeen &&
+		r.expected > uint32(r.cfg.ReorderWindow) {
+		r.rebootResync()
 	}
 	if pkt.Seq > r.maxSeen || !r.anySeen {
 		r.maxSeen = pkt.Seq
@@ -330,22 +420,105 @@ func (r *Receiver) Push(pkt *core.Packet) ([]Decoded, error) {
 	return r.drain(), nil
 }
 
-// drain releases consecutive buffered windows starting at expected.
+// rebootResync realigns the receiver to a rebooted mote: the windows
+// the old boot still owed (missing, buffered or queued) are abandoned,
+// the buffers cleared, and the sequence space restarted with the
+// current slot as the new epoch origin. The incoming key frame then
+// resynchronizes the decoder's measurement state as any key frame does.
+func (r *Receiver) rebootResync() {
+	lost := r.slot - (r.epoch + int(r.expected)) + len(r.queue)
+	if lost > 0 {
+		r.stats.Abandoned += lost
+		if r.met != nil {
+			r.met.abandoned.Add(int64(lost))
+		}
+		r.bumpOutage(lost)
+		r.noteLost(lost)
+	}
+	r.buf = map[uint32]*core.Packet{}
+	r.queue = r.queue[:0]
+	if r.gap != nil {
+		// The reboot key frame is this episode's recovery point.
+		r.stats.RecoveryWindows = append(r.stats.RecoveryWindows, r.slot-r.gap.openedSlot+1)
+		if r.met != nil {
+			r.met.recoverySlots.Observe(int64(r.slot - r.gap.openedSlot + 1))
+		}
+		r.gap = nil
+	}
+	r.epoch = r.slot
+	r.expected = 0
+	r.maxSeen = 0
+	r.stats.Reboots++
+	if r.met != nil {
+		r.met.reboots.Inc()
+		r.met.queueDepth.Set(0)
+	}
+}
+
+// drain admits consecutive buffered windows starting at expected into
+// the bounded queue, then pumps the decoder.
 func (r *Receiver) drain() []Decoded {
-	var out []Decoded
 	for {
 		pkt, ok := r.buf[r.expected]
 		if !ok {
 			break
 		}
 		delete(r.buf, r.expected)
-		seq := r.expected
 		r.expected++
-		res, err := r.dec.Decode(pkt)
+		r.admit(pkt)
+	}
+	out := r.pump()
+	r.closeGapIfCaughtUp()
+	return out
+}
+
+// admit appends one in-order window to the admission queue. When the
+// queue is full, the oldest non-key window is shed first: key frames
+// are resync points, and the freshest windows are the ones the display
+// still has time to show.
+func (r *Receiver) admit(pkt *core.Packet) {
+	if len(r.queue) >= r.cfg.QueueLimit {
+		drop := -1
+		for i, p := range r.queue {
+			if p.Kind != core.KindKey {
+				drop = i
+				break
+			}
+		}
+		if drop < 0 {
+			drop = 0
+		}
+		r.queue = append(r.queue[:drop], r.queue[drop+1:]...)
+		r.stats.Shed++
+		r.noteLost(1)
+		r.bumpOutage(1)
+		if r.met != nil {
+			r.met.shed.Inc()
+		}
+	}
+	r.queue = append(r.queue, pkt)
+	if len(r.queue) > r.stats.QueuePeak {
+		r.stats.QueuePeak = len(r.queue)
+	}
+}
+
+// pump decodes admitted windows in order, within the per-slot decode
+// budget (unlimited when DecodesPerSlot is 0).
+func (r *Receiver) pump() []Decoded {
+	var out []Decoded
+	for len(r.queue) > 0 {
+		if r.cfg.DecodesPerSlot > 0 && r.decodesLeft <= 0 {
+			break
+		}
+		pkt := r.queue[0]
+		r.queue[0] = nil
+		r.queue = r.queue[1:]
+		r.decodesLeft--
+		res, err := r.decodeContained(pkt)
 		if err != nil {
-			// In-order arrival the decoder still rejects: a delta
-			// behind an abandoned gap (desynchronized until the next
-			// key frame). The window is lost.
+			// In-order window the decoder still rejects (a delta behind
+			// an abandoned gap, desynchronized until the next key frame)
+			// or a contained panic. The window is lost.
 			r.stats.DecodeFailures++
 			if r.met != nil {
 				r.met.failures.Inc()
@@ -362,10 +535,30 @@ func (r *Receiver) drain() []Decoded {
 		if res.Resynced {
 			r.stats.Resyncs++
 		}
-		out = append(out, r.score(Decoded{Seq: seq, Res: res}))
+		out = append(out, r.score(Decoded{Seq: pkt.Seq, Res: res}))
 	}
-	r.closeGapIfCaughtUp()
+	if r.met != nil {
+		r.met.queueDepth.Set(int64(len(r.queue)))
+	}
 	return out
+}
+
+// decodeContained isolates one window's decode: a panic anywhere in the
+// reconstruction pipeline is contained to that window — counted,
+// converted to a decode failure, and the session continues. The decoder
+// may be left mid-update; the next key frame rebuilds its measurement
+// state from scratch, so containment needs no decoder cooperation.
+func (r *Receiver) decodeContained(pkt *core.Packet) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.stats.DecodePanics++
+			if r.met != nil {
+				r.met.panics.Inc()
+			}
+			res, err = nil, fmt.Errorf("coordinator: decode panic on window %d: %v", pkt.Seq, p)
+		}
+	}()
+	return r.dec.Decode(pkt)
 }
 
 // score attaches the ground-truth-free quality estimate to a released
@@ -421,7 +614,7 @@ func (r *Receiver) closeGapIfCaughtUp() {
 	if r.gap == nil {
 		return
 	}
-	if len(r.buf) == 0 && int(r.expected) >= r.slot {
+	if len(r.buf) == 0 && r.epoch+int(r.expected) >= r.slot {
 		r.stats.RecoveryWindows = append(r.stats.RecoveryWindows, r.slot-r.gap.openedSlot+1)
 		if r.met != nil {
 			r.met.recoverySlots.Observe(int64(r.slot - r.gap.openedSlot + 1))
@@ -496,9 +689,14 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 	r.slot++
 	r.recentIdx = (r.recentIdx + 1) % recentSlots
 	r.recent[r.recentIdx] = 0
-	if int(r.expected) >= r.slot && len(r.buf) == 0 {
+	// A fresh slot brings a fresh decode budget: work off the admission
+	// queue's backlog before any gap/control decisions.
+	r.decodesLeft = r.cfg.DecodesPerSlot
+	released := r.pump()
+	r.closeGapIfCaughtUp()
+	if r.epoch+int(r.expected) >= r.slot && len(r.buf) == 0 {
 		// Fully caught up (gap already closed by drain).
-		return nil, nil
+		return nil, released
 	}
 	if r.gap == nil {
 		r.gap = &gapState{
@@ -517,12 +715,12 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		// No control channel: hold briefly for reordered late
 		// arrivals, then fall back to the scheduled key frame.
 		if r.slot-g.openedSlot+1 >= r.cfg.WaitWindows {
-			return nil, r.abandonBehindBuffer()
+			return nil, append(released, r.abandonBehindBuffer()...)
 		}
-		return nil, nil
+		return nil, released
 	}
 	if g.passive {
-		return nil, r.abandonBehindBuffer()
+		return nil, append(released, r.abandonBehindBuffer()...)
 	}
 	if ks, ok := r.earliestBufferedKey(); ok {
 		// A guaranteed resync point is already in hand. Give the last
@@ -530,12 +728,12 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		// history; once the NACK ladder is exhausted or the round
 		// expires, jumping to the key frame beats stalling the display.
 		if g.retries >= r.cfg.MaxRetries || r.slot >= g.nextRetry {
-			return nil, r.abandonTo(ks)
+			return nil, append(released, r.abandonTo(ks)...)
 		}
-		return nil, nil
+		return nil, released
 	}
 	if r.slot < g.nextRetry {
-		return nil, nil
+		return nil, released
 	}
 	if g.retries < r.cfg.MaxRetries {
 		g.retries++
@@ -545,7 +743,7 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		if r.met != nil {
 			r.met.nacks.Inc()
 		}
-		return []*core.Packet{core.NewNack(r.expected, r.missingCount())}, nil
+		return []*core.Packet{core.NewNack(r.expected, r.missingCount())}, released
 	}
 	if g.keyRetries < r.cfg.MaxRetries {
 		g.keyRetries++
@@ -555,12 +753,12 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 		if r.met != nil {
 			r.met.keyRequests.Inc()
 		}
-		return []*core.Packet{core.NewKeyRequest(r.expected)}, nil
+		return []*core.Packet{core.NewKeyRequest(r.expected)}, released
 	}
 	// Both request ladders exhausted (the control channel itself is
 	// too lossy): degrade gracefully to the scheduled key frame.
 	g.passive = true
-	return nil, r.abandonBehindBuffer()
+	return nil, append(released, r.abandonBehindBuffer()...)
 }
 
 // abandonBehindBuffer abandons the missing windows in front of the
@@ -591,21 +789,24 @@ func (r *Receiver) missingCount() int {
 func (r *Receiver) Close() []Decoded {
 	before := r.Health()
 	defer func() { r.syncHealth(before) }()
-	var out []Decoded
+	// The final flush ignores the per-slot decode budget: everything
+	// admitted is decoded before the session ends.
+	r.decodesLeft = int(^uint(0) >> 1)
+	out := r.pump()
 	// Each abandonBehindBuffer consumes at least the earliest buffered
 	// packet, so this terminates even across multiple holes.
 	for len(r.buf) > 0 {
 		out = append(out, r.abandonBehindBuffer()...)
 	}
-	if int(r.expected) < r.slot {
-		n := r.slot - int(r.expected)
+	if r.epoch+int(r.expected) < r.slot {
+		n := r.slot - r.epoch - int(r.expected)
 		r.stats.Abandoned += n
 		if r.met != nil {
 			r.met.abandoned.Add(int64(n))
 		}
 		r.bumpOutage(n)
 		r.noteLost(n)
-		r.expected = uint32(r.slot)
+		r.expected = uint32(r.slot - r.epoch)
 	}
 	r.closeGapIfCaughtUp()
 	return out

@@ -42,6 +42,11 @@ type Decoder[T linalg.Float] struct {
 	// ContinuationStages > 1 enables λ-continuation (warm-started
 	// windows rarely need it; cold key frames benefit).
 	ContinuationStages int
+	// Algorithm selects the recovery solver. The zero value is the
+	// paper's FISTA (with continuation per ContinuationStages); the
+	// coordinator's degradation ladder switches to AlgoGPSR under
+	// deadline pressure.
+	Algorithm solver.Algorithm
 }
 
 // DecodeResult reports one reconstructed window.
@@ -57,6 +62,10 @@ type DecodeResult[T linalg.Float] struct {
 	// Converged reports whether FISTA hit its tolerance inside the
 	// iteration budget.
 	Converged bool
+	// DeadlineExpired reports whether the solver's soft wall-clock
+	// deadline (SolverOptions.DeadlineNs) cut the recovery short;
+	// Samples then holds the best-so-far reconstruction.
+	DeadlineExpired bool
 	// Resynced is true when the packet was a key frame that recovered
 	// the stream after a gap.
 	Resynced bool
@@ -156,9 +165,12 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 	}
 	var res solver.Result[T]
 	var err error
-	if d.haveWarm || d.ContinuationStages <= 1 {
+	switch {
+	case d.Algorithm != solver.AlgoFISTA:
+		res, err = solver.Solve(d.Algorithm, d.a, y, opt, 1)
+	case d.haveWarm || d.ContinuationStages <= 1:
 		res, err = solver.FISTA(d.a, y, opt)
-	} else {
+	default:
 		res, err = solver.FISTAContinuation(d.a, y, opt, d.ContinuationStages)
 	}
 	if err != nil {
@@ -185,13 +197,14 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 		samples[i] = clampADC(int32(roundT(v)) + ADCBaseline)
 	}
 	return &DecodeResult[T]{
-		Samples:      samples,
-		MV:           mv,
-		Iterations:   res.Iterations,
-		Converged:    res.Converged,
-		Resynced:     resynced,
-		ResidualNorm: residualNorm,
-		EscapeCount:  d.lastEscapes,
+		Samples:         samples,
+		MV:              mv,
+		Iterations:      res.Iterations,
+		Converged:       res.Converged,
+		DeadlineExpired: res.DeadlineExpired,
+		Resynced:        resynced,
+		ResidualNorm:    residualNorm,
+		EscapeCount:     d.lastEscapes,
 	}, nil
 }
 

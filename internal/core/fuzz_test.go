@@ -35,12 +35,13 @@ func FuzzUnmarshalPacket(f *testing.F) {
 
 // FuzzPacketStream hardens the decoder against hostile packet streams:
 // each fuzz input scripts a channel that delivers packets in order,
-// drops them, duplicates them, reorders them, truncates or bit-flips
-// their wire image, or injects control-kind packets. The decoder must
-// never panic, must reject every single-bit-flipped frame at the
-// checksum (Fletcher-16 detects all single-bit errors), must reject
-// control kinds on the data path, and must always resynchronize on a
-// final key frame.
+// drops them, duplicates them, reorders them, truncates, bit-flips or
+// burst-corrupts their wire image, forges the payload-length field, or
+// injects control-kind packets. The decoder must never panic, must
+// reject every single-bit-flipped frame and every ≤16-bit burst at the
+// CRC (CRC-16/CCITT detects all single- and double-bit errors and all
+// bursts up to 16 bits), must reject control kinds on the data path,
+// and must always resynchronize on a final key frame.
 func FuzzPacketStream(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0, 1, 0, 3, 0})
@@ -84,7 +85,7 @@ func FuzzPacketStream(f *testing.F) {
 		}
 		var last *Packet
 		for i, op := range ops {
-			switch op % 8 {
+			switch op % 10 {
 			case 0: // in-order delivery
 				last = encodeNext()
 				feed(last)
@@ -108,7 +109,7 @@ func FuzzPacketStream(f *testing.F) {
 				if _, _, err := UnmarshalPacket(blob[:cut]); err == nil && cut < len(blob) {
 					t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(blob))
 				}
-			case 5: // single bit flip must be caught by the checksum
+			case 5: // single bit flip must be caught by the CRC
 				pkt := encodeNext()
 				blob, err := pkt.Marshal()
 				if err != nil {
@@ -116,12 +117,12 @@ func FuzzPacketStream(f *testing.F) {
 				}
 				pos := (int(op) + i) % len(blob)
 				blob[pos] ^= 1 << (op & 7)
-				// Fletcher-16 detects every single-bit error over a
+				// The CRC detects every single-bit error over a
 				// fixed-length region; only a flip in the length field
-				// (bytes 8-9) moves the checksum window itself and is
+				// (bytes 8-9) moves the CRC window itself and is
 				// detected merely probabilistically.
 				if _, _, err := UnmarshalPacket(blob); err == nil && pos != 8 && pos != 9 {
-					t.Fatalf("checksum accepted a bit-flipped frame at byte %d", pos)
+					t.Fatalf("CRC accepted a bit-flipped frame at byte %d", pos)
 				}
 			case 6: // control packets on the data path are rejected
 				if _, err := dec.DecodePacket(NewNack(uint32(i), 1)); err == nil {
@@ -130,6 +131,34 @@ func FuzzPacketStream(f *testing.F) {
 			case 7:
 				if _, err := dec.DecodePacket(NewKeyRequest(uint32(i))); err == nil {
 					t.Fatal("decoder accepted a key request")
+				}
+			case 8: // two-byte burst corruption is within the CRC's guarantee
+				pkt := encodeNext()
+				blob, err := pkt.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				pos := (int(op) + i) % (len(blob) - 1)
+				blob[pos] ^= byte(0x5A + i)
+				blob[pos+1] ^= byte(0xA5 ^ op)
+				// A ≤16-bit burst is always detected unless it lands on
+				// the length field (bytes 8-9), which moves the CRC
+				// window itself.
+				if _, _, err := UnmarshalPacket(blob); err == nil && !(pos >= 7 && pos <= 9) {
+					t.Fatalf("CRC accepted a burst-corrupted frame at byte %d", pos)
+				}
+			case 9: // forged payload-length field: truncated payload must
+				// never panic; if the parse somehow survives, the decoder
+				// must still not panic on the result
+				pkt := encodeNext()
+				blob, err := pkt.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob[8] = byte(op * 7)
+				blob[9] = byte(i)
+				if mangled, _, err := UnmarshalPacket(blob); err == nil {
+					feed(mangled)
 				}
 			}
 		}

@@ -102,7 +102,7 @@ func (p *Packet) Clone() *Packet {
 //	numSymbols uint16
 //	payloadLen uint16
 //	payload    []byte
-//	checksum   uint16 (additive, over header+payload)
+//	crc        uint16 (CRC-16/CCITT-FALSE, over header+payload)
 const (
 	packetMagic  = 0xC5
 	headerBytes  = 10
@@ -124,7 +124,7 @@ func (p *Packet) Marshal() ([]byte, error) {
 	binary.LittleEndian.PutUint16(out[6:], p.NumSymbols)
 	binary.LittleEndian.PutUint16(out[8:], uint16(len(p.Payload)))
 	copy(out[headerBytes:], p.Payload)
-	sum := checksum(out[:headerBytes+len(p.Payload)])
+	sum := crc16(out[:headerBytes+len(p.Payload)])
 	binary.LittleEndian.PutUint16(out[headerBytes+len(p.Payload):], sum)
 	return out, nil
 }
@@ -150,8 +150,8 @@ func UnmarshalPacket(data []byte) (*Packet, int, error) {
 		return nil, 0, fmt.Errorf("core: packet truncated (%d of %d bytes)", len(data), total)
 	}
 	wantSum := binary.LittleEndian.Uint16(data[headerBytes+payloadLen:])
-	if got := checksum(data[:headerBytes+payloadLen]); got != wantSum {
-		return nil, 0, fmt.Errorf("core: packet checksum mismatch (%#x != %#x)", got, wantSum)
+	if got := crc16(data[:headerBytes+payloadLen]); got != wantSum {
+		return nil, 0, fmt.Errorf("core: packet CRC mismatch (%#x != %#x)", got, wantSum)
 	}
 	p := &Packet{
 		Seq:        binary.LittleEndian.Uint32(data[2:]),
@@ -162,12 +162,3 @@ func UnmarshalPacket(data []byte) (*Packet, int, error) {
 	return p, total, nil
 }
 
-// checksum is the Fletcher-16 checksum, cheap enough for the mote.
-func checksum(data []byte) uint16 {
-	var a, b uint32
-	for _, v := range data {
-		a = (a + uint32(v)) % 255
-		b = (b + a) % 255
-	}
-	return uint16(b<<8 | a)
-}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"csecg/internal/chaos"
+)
+
+// ChaosRow is one scenario's survival outcome.
+type ChaosRow struct {
+	Report *chaos.Report
+	// QueueLimit is the bound the admission queue was held to.
+	QueueLimit int
+	// Violation is empty when the scenario was survived, else the
+	// first contract breach.
+	Violation string
+}
+
+// ChaosResult is the survival-layer acceptance matrix: every fault
+// cocktail the coordinator must degrade through without dying.
+type ChaosResult struct {
+	Short bool
+	Rows  []ChaosRow
+}
+
+// Failures lists the scenarios that broke the survival contract.
+func (r *ChaosResult) Failures() []string {
+	var out []string
+	for _, row := range r.Rows {
+		if row.Violation != "" {
+			out = append(out, row.Violation)
+		}
+	}
+	return out
+}
+
+// Chaos runs the survival matrix — bit flips, burst loss, mote reboot,
+// CPU slowdown under burst arrival, decode panics, clock drift, and
+// the kitchen sink — and judges each run on the contract: zero escaped
+// panics, bounded queue, p99 decode within the packet period, health
+// back to decoding. Short mode shrinks the sessions for CI smoke.
+func Chaos(short bool) (*ChaosResult, error) {
+	res := &ChaosResult{Short: short}
+	for _, sc := range chaos.Matrix(short) {
+		rep, err := chaos.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos scenario %s: %w", sc.Name, err)
+		}
+		limit := sc.QueueLimit
+		if limit == 0 {
+			limit = 8 // the runner's default bound
+		}
+		row := ChaosRow{Report: rep, QueueLimit: limit}
+		if err := rep.Survived(limit); err != nil {
+			row.Violation = err.Error()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the matrix.
+func (r *ChaosResult) Table() *Table {
+	t := &Table{
+		Title: "Extension — chaos matrix: coordinator survival under faults",
+		Note:  "contract: zero escaped panics, bounded queue, p99 decode within the packet period, health back to decoding",
+		Header: []string{"scenario", "windows", "decoded", "degraded", "crc-rej",
+			"shed", "q-peak", "panics", "reboots", "p99 (ms)", "max rung", "health", "verdict"},
+	}
+	for _, row := range r.Rows {
+		rep := row.Report
+		verdict := "survived"
+		if row.Violation != "" {
+			verdict = "FAILED"
+		}
+		t.Rows = append(t.Rows, []string{
+			rep.Scenario,
+			fmt.Sprintf("%d", rep.Windows),
+			fmt.Sprintf("%d", rep.Decoded),
+			fmt.Sprintf("%d", rep.DegradedWindows),
+			fmt.Sprintf("%d", rep.CRCRejected),
+			fmt.Sprintf("%d", rep.Shed),
+			fmt.Sprintf("%d/%d", rep.QueuePeak, row.QueueLimit),
+			fmt.Sprintf("%d", rep.ContainedPanics),
+			fmt.Sprintf("%d", rep.Reboots),
+			f1(float64(rep.P99DecodeNs) / float64(time.Millisecond)),
+			rep.MaxRung.String(),
+			rep.FinalHealth.String(),
+			verdict,
+		})
+	}
+	return t
+}

@@ -557,3 +557,31 @@ func TestAblations(t *testing.T) {
 		t.Errorf("length limit costs %.3f bits/symbol, should be ≈0", limited.AvgBits-unlimited.AvgBits)
 	}
 }
+
+func TestChaosShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is exercised in internal/chaos under -short")
+	}
+	r, err := Chaos(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 7 {
+		t.Fatalf("chaos matrix has %d scenarios, want ≥7", len(r.Rows))
+	}
+	if fails := r.Failures(); len(fails) != 0 {
+		t.Fatalf("survival contract violated: %v", fails)
+	}
+	tab := r.Table()
+	if len(tab.Rows) != len(r.Rows) {
+		t.Fatalf("table rows %d != scenarios %d", len(tab.Rows), len(r.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged table row: %v", row)
+		}
+		if row[len(row)-1] != "survived" {
+			t.Fatalf("scenario %s verdict %q", row[0], row[len(row)-1])
+		}
+	}
+}

@@ -99,6 +99,13 @@ type Config struct {
 	// JitterMax bounds the uniform per-frame latency jitter added on
 	// top of the airtime (0 disables jitter accounting).
 	JitterMax time.Duration
+	// ClockDriftPPM is the mote crystal's frequency error in parts per
+	// million (positive = the mote clock runs fast). The skew between
+	// the mote's window clock and the coordinator's slot clock accrues
+	// one window period at a time through EndWindow; once it exceeds a
+	// full period the mote has produced an extra (or one fewer) window
+	// within the coordinator's slot grid.
+	ClockDriftPPM float64
 	// Seed drives the loss/corruption/reorder/jitter stream.
 	Seed uint64
 }
@@ -127,6 +134,7 @@ type Link struct {
 	bytesOnAir               int64
 	airtime                  time.Duration
 	jitterTotal, jitterMax   time.Duration
+	driftSkew                time.Duration
 
 	met *linkMetrics
 }
@@ -155,6 +163,9 @@ func New(cfg Config) (*Link, error) {
 	}
 	if cfg.JitterMax < 0 {
 		return nil, fmt.Errorf("link: negative jitter bound")
+	}
+	if cfg.ClockDriftPPM < -1e6 || cfg.ClockDriftPPM > 1e6 {
+		return nil, fmt.Errorf("link: clock drift %v ppm out of ±1e6", cfg.ClockDriftPPM)
 	}
 	l := &Link{cfg: cfg, gen: rng.New(cfg.Seed)}
 	if cfg.Burst != nil {
@@ -283,6 +294,20 @@ func (l *Link) TransmitMulti(frame []byte) ([][]byte, time.Duration) {
 	return frames, at
 }
 
+// EndWindow advances the drift model by one nominal window period and
+// returns the cumulative mote-versus-coordinator clock skew. Drivers
+// call it once per window slot; when the magnitude of the returned skew
+// crosses a full period, the mote's window production has slipped one
+// slot against the coordinator's grid (the driver injects the extra or
+// missing window and discounts a period from its own threshold).
+func (l *Link) EndWindow(nominal time.Duration) time.Duration {
+	l.driftSkew += time.Duration(float64(nominal) * l.cfg.ClockDriftPPM / 1e6)
+	return l.driftSkew
+}
+
+// DriftSkew returns the accumulated clock skew.
+func (l *Link) DriftSkew() time.Duration { return l.driftSkew }
+
 // Flush releases any frame still held by the reorder model (end of
 // session: the delayed frame eventually arrives).
 func (l *Link) Flush() [][]byte {
@@ -363,6 +388,9 @@ type Stats struct {
 	Airtime    time.Duration
 	// JitterTotal and JitterMax summarize the injected latency jitter.
 	JitterTotal, JitterMax time.Duration
+	// DriftSkew is the accumulated mote-versus-coordinator clock skew
+	// under ClockDriftPPM.
+	DriftSkew time.Duration
 }
 
 // Stats returns a snapshot of the counters.
@@ -372,5 +400,6 @@ func (l *Link) Stats() Stats {
 		Duplicated: l.duplicated, Reordered: l.reordered, BadSlots: l.badSlots,
 		BytesOnAir: l.bytesOnAir, Airtime: l.airtime,
 		JitterTotal: l.jitterTotal, JitterMax: l.jitterMax,
+		DriftSkew: l.driftSkew,
 	}
 }

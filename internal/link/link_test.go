@@ -296,3 +296,48 @@ func TestTransmitPacketRoundTrip(t *testing.T) {
 		t.Errorf("airtime %v, want %v", at, wantAt)
 	}
 }
+
+func TestClockDriftAccrues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClockDriftPPM = 50 // typical watch-crystal tolerance
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 2 * time.Second
+	var skew time.Duration
+	for i := 0; i < 100; i++ {
+		skew = l.EndWindow(period)
+	}
+	// 50 ppm over 100 × 2 s windows = 10 ms of skew.
+	if want := 10 * time.Millisecond; skew != want {
+		t.Errorf("skew after 100 windows = %v, want %v", skew, want)
+	}
+	if got := l.Stats().DriftSkew; got != skew {
+		t.Errorf("Stats().DriftSkew = %v, want %v", got, skew)
+	}
+	if got := l.DriftSkew(); got != skew {
+		t.Errorf("DriftSkew() = %v, want %v", got, skew)
+	}
+}
+
+func TestClockDriftNegativeAndInert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClockDriftPPM = -100 // slow mote clock
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew := l.EndWindow(time.Second); skew != -100*time.Microsecond {
+		t.Errorf("negative drift skew = %v, want -100µs", skew)
+	}
+	inert, _ := New(DefaultConfig())
+	if skew := inert.EndWindow(time.Second); skew != 0 {
+		t.Errorf("zero-ppm link accrued skew %v", skew)
+	}
+	bad := DefaultConfig()
+	bad.ClockDriftPPM = 2e6
+	if _, err := New(bad); err == nil {
+		t.Error("drift beyond ±1e6 ppm accepted")
+	}
+}

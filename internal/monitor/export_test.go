@@ -1,0 +1,6 @@
+package monitor
+
+// SetRequestHook installs the test seam that runs at the start of
+// every tracked request — used to hold a scrape in flight across
+// BeginDrain.
+func (s *Server) SetRequestHook(h func(path string)) { s.testHookRequest = h }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -262,5 +263,91 @@ func TestEndpointsDuringLossyStream(t *testing.T) {
 	}
 	if code, _ := get(t, ts, "/readyz"); code != http.StatusOK {
 		t.Errorf("finished session still gates /readyz")
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: BeginDrain flips
+// /readyz to 503 immediately, while a scrape already in flight — and
+// any straggler the balancer still routes — completes with a full
+// body; WaitIdle returns once the wire is quiet.
+func TestGracefulDrain(t *testing.T) {
+	clk := &telemetry.ManualClock{}
+	srv := monitor.NewServer(clk)
+	reg := telemetry.NewRegistry()
+	reg.Counter("transport_crc_rejected_total").Add(3)
+	ses := monitor.NewSession(monitor.SessionConfig{Name: "rec 100", Registry: reg}, nil)
+	ses.OnWindow(monitor.WindowStatus{Seq: 1, EstPRDN: 4, Degraded: true,
+		Rung: coordinator.RungReducedIter})
+	ses.OnSlot(monitor.SlotStatus{Slot: 1, Health: coordinator.HealthDecoding})
+	srv.Attach(ses)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.SetRequestHook(func(path string) {
+		if path == "/metrics" {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d %s", code, body)
+	}
+
+	// A scrape enters and parks on the wire; then the drain begins.
+	type result struct {
+		code int
+		body string
+	}
+	inflight := make(chan result)
+	go func() {
+		code, body := get("/metrics")
+		inflight <- result{code, body}
+	}()
+	<-entered
+	srv.BeginDrain()
+
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "draining") {
+		t.Fatalf("/readyz during drain: %d %s, want 503 draining", code, body)
+	}
+	// Stragglers on the data endpoints still drain cleanly.
+	if code, body := get("/sessions"); code != http.StatusOK ||
+		!strings.Contains(body, "\"degraded_windows\": 1") ||
+		!strings.Contains(body, "\"last_rung\": \"reduced-iter\"") {
+		t.Fatalf("/sessions during drain: %d %s", code, body)
+	}
+
+	close(release)
+	res := <-inflight
+	if res.code != http.StatusOK || !strings.Contains(res.body, "transport_crc_rejected_total") {
+		t.Fatalf("in-flight /metrics after drain: %d %q", res.code, res.body)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitIdle did not return after the wire went quiet")
 	}
 }

@@ -28,6 +28,11 @@ type WindowStatus struct {
 	Residual   float64
 	Iterations int
 	Converged  bool
+	// Degraded marks a reduced-quality release — the coordinator's
+	// degradation ladder was off nominal or the solver's soft deadline
+	// cut the recovery short — and Rung the ladder rung it decoded at.
+	Degraded bool
+	Rung     coordinator.Rung
 	// LatencyNs is the window's recovery latency: acquisition end to
 	// reconstruction available, including reorder/retransmit delays.
 	LatencyNs int64

@@ -23,6 +23,15 @@ type Server struct {
 	// in attach order — no map iteration anywhere near the wire format.
 	mu       sync.Mutex
 	sessions []*Session
+	draining bool
+
+	// inflight tracks requests currently being served, so shutdown can
+	// wait for scrapes that were on the wire when the drain began.
+	inflight sync.WaitGroup
+
+	// testHookRequest, when set, runs at the start of every request —
+	// the test seam that holds a scrape in flight across BeginDrain.
+	testHookRequest func(path string)
 }
 
 // NewServer builds a server. clock (nil → telemetry.WallClock) stamps
@@ -48,14 +57,48 @@ func (s *Server) snapshot() []*Session {
 	return append([]*Session(nil), s.sessions...)
 }
 
+// BeginDrain starts a graceful shutdown: /readyz flips to 503 so the
+// load balancer stops routing new scrapes, while /metrics and
+// /sessions keep answering — requests already on the wire (and any
+// stragglers the balancer still sends) drain cleanly instead of being
+// cut off mid-body.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// WaitIdle blocks until every in-flight request has finished. Call
+// after BeginDrain and before closing the listener.
+func (s *Server) WaitIdle() { s.inflight.Wait() }
+
+// track wraps a handler with the in-flight accounting behind WaitIdle.
+func (s *Server) track(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		if s.testHookRequest != nil {
+			s.testHookRequest(path)
+		}
+		h(w, r)
+	}
+}
+
 // Handler returns the plane's mux: /metrics, /healthz, /readyz,
 // /sessions.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/metrics", s.track("/metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.track("/healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.track("/readyz", s.handleReadyz))
+	mux.HandleFunc("/sessions", s.track("/sessions", s.handleSessions))
 	return mux
 }
 
@@ -91,11 +134,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			uptime, len(s.snapshot()))))
 }
 
-// Ready reports readiness: at least one session is attached and every
-// unfinished session's coordinator is keyed and decoding. A degraded
-// or still-starting stream makes the plane not ready; finished
-// sessions stop gating.
+// Ready reports readiness: the plane is not draining, at least one
+// session is attached, and every unfinished session's coordinator is
+// keyed and decoding. A degraded or still-starting stream makes the
+// plane not ready; finished sessions stop gating.
 func (s *Server) Ready() (bool, string) {
+	if s.Draining() {
+		return false, "draining"
+	}
 	sessions := s.snapshot()
 	if len(sessions) == 0 {
 		return false, "no sessions attached"

@@ -38,6 +38,7 @@ type Session struct {
 	cfg SessionConfig
 
 	windows, bad int
+	degraded     int
 	sumEst       float64
 	worstEst     float64
 	last         WindowStatus
@@ -82,6 +83,9 @@ func (s *Session) OnWindow(w WindowStatus) {
 	s.windows++
 	if w.Bad {
 		s.bad++
+	}
+	if w.Degraded {
+		s.degraded++
 	}
 	s.sumEst += w.EstPRDN
 	if w.EstPRDN > s.worstEst {
@@ -142,6 +146,11 @@ type SessionStatus struct {
 	WorstEst    float64 `json:"worst_est_prdn"`
 	LastSeq     uint32  `json:"last_seq"`
 	LastEst     float64 `json:"last_est_prdn"`
+	// DegradedWindows counts reduced-quality releases (ladder off
+	// nominal or deadline-cut solves); LastRung is the degradation
+	// rung of the most recent decode.
+	DegradedWindows int    `json:"degraded_windows"`
+	LastRung        string `json:"last_rung"`
 
 	Decoded    int     `json:"decoded"`
 	Abandoned  int     `json:"abandoned"`
@@ -162,11 +171,13 @@ func (s *Session) Snapshot() SessionStatus {
 		Name:       s.cfg.Name,
 		Finished:   s.finished,
 		Health:     s.slot.Health.String(),
-		Windows:    s.windows,
-		BadWindows: s.bad,
-		WorstEst:   s.worstEst,
-		LastSeq:    s.last.Seq,
-		LastEst:    s.last.EstPRDN,
+		Windows:         s.windows,
+		BadWindows:      s.bad,
+		WorstEst:        s.worstEst,
+		LastSeq:         s.last.Seq,
+		LastEst:         s.last.EstPRDN,
+		DegradedWindows: s.degraded,
+		LastRung:        s.last.Rung.String(),
 		Decoded:    s.slot.Decoded,
 		Abandoned:  s.slot.Abandoned,
 		Gaps:       s.slot.Gaps,

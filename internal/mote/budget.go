@@ -39,5 +39,6 @@ const (
 // Flash ledger (bytes).
 const (
 	FlashCode     = 6 * 1024                  //csecg:flash encoder stages plus drivers
+	FlashCRCTable = 256 * 2                   //csecg:flash CRC-16/CCITT lookup table (256 × uint16)
 	FlashCodebook = 4 + 3*core.NumDiffSymbols //csecg:codebookflash serialized Huffman codebook
 )

@@ -35,6 +35,7 @@ func TestBudgetLedgerMatchesFootprint(t *testing.T) {
 		"BTStack":          {RAMBTStack, mem.BTStack},
 		"StackMisc":        {RAMStackMisc, mem.StackMisc},
 		"CodeFlash":        {FlashCode, mem.CodeFlash},
+		"CRCTableFlash":    {FlashCRCTable, mem.CRCTableFlash},
 		"CodebookFlash":    {FlashCodebook, mem.CodebookFlash},
 	}
 	for name, v := range ledger {
@@ -50,7 +51,7 @@ func TestBudgetLedgerMatchesFootprint(t *testing.T) {
 	if ramSum > RAMBudget {
 		t.Errorf("RAM ledger sum %d B exceeds RAMBudget %d B", ramSum, RAMBudget)
 	}
-	flashSum := FlashCode + FlashCodebook
+	flashSum := FlashCode + FlashCRCTable + FlashCodebook
 	if flashSum != mem.FlashTotal() {
 		t.Errorf("flash ledger sum %d B, FlashTotal %d B", flashSum, mem.FlashTotal())
 	}

@@ -95,6 +95,7 @@ type Model struct {
 	// retransmission (nil when the NACK protocol is disabled).
 	ring        []*core.Packet
 	retransmits int64
+	reboots     int64
 
 	totalCycles  int64
 	totalWindows int64
@@ -134,6 +135,22 @@ func (m *Model) Instrument(reg *telemetry.Registry) {
 
 // Params returns the resolved pipeline parameters.
 func (m *Model) Params() core.Params { return m.enc.Params() }
+
+// Reboot models a brownout restart: volatile state is lost — the
+// encoder restarts its sequence space (the next window is a seq-0 key
+// frame) and the retransmit ring empties — while flash-resident state
+// (codebook, CRC table, code) survives. The coordinator detects the
+// wrapped sequence and resynchronizes on the boot key frame.
+func (m *Model) Reboot() {
+	m.enc.Reset()
+	for i := range m.ring {
+		m.ring[i] = nil
+	}
+	m.reboots++
+}
+
+// Reboots counts the modeled brownout restarts so far.
+func (m *Model) Reboots() int64 { return m.reboots }
 
 // EnableRetransmitBuffer allocates a k-slot retransmit ring holding the
 // last k encoded packets for the NACK protocol. It fails if the
@@ -280,7 +297,7 @@ type Memory struct {
 	// protocol's ring buffer is enabled.
 	SampleBuffers, MeasurementState, SymbolScratch, PacketBuffer, RetransmitRing, BTStack, StackMisc int
 	// Flash components (bytes).
-	CodeFlash, CodebookFlash int
+	CodeFlash, CRCTableFlash, CodebookFlash int
 }
 
 // RAMTotal sums the RAM components.
@@ -290,7 +307,7 @@ func (mem Memory) RAMTotal() int {
 }
 
 // FlashTotal sums the flash components.
-func (mem Memory) FlashTotal() int { return mem.CodeFlash + mem.CodebookFlash }
+func (mem Memory) FlashTotal() int { return mem.CodeFlash + mem.CRCTableFlash + mem.CodebookFlash }
 
 // MemoryFootprint accounts the encoder's RAM and flash consumption for
 // the configured parameters, mirroring the paper's 6.5 kB RAM / 7.5 kB
@@ -318,6 +335,9 @@ func (m *Model) MemoryFootprint() Memory {
 		// Encoder code: measurement, difference, entropy and framing
 		// stages plus drivers.
 		CodeFlash: FlashCode,
+		// Byte-indexed CRC-16/CCITT lookup table used by the packet
+		// framer (generated offline, flashed with the firmware).
+		CRCTableFlash: FlashCRCTable,
 		// Offline-trained codebook: 1 kB codewords + 512 B lengths
 		// (+4 B header), the layout of huffman.Serialize.
 		CodebookFlash: huffman.SerializedSize(core.NumDiffSymbols),

@@ -247,3 +247,45 @@ func TestRequestKeyFrame(t *testing.T) {
 		t.Error("key request not honored")
 	}
 }
+
+func TestRebootRestartsSequenceAndClearsRing(t *testing.T) {
+	m, err := New(core.Params{Seed: 1, KeyFrameInterval: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableRetransmitBuffer(4); err != nil {
+		t.Fatal(err)
+	}
+	win := testWindow(t)
+	var last *core.Packet
+	for i := 0; i < 5; i++ {
+		rep, err := m.EncodeWindow(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rep.Packet
+	}
+	if last.Seq != 4 {
+		t.Fatalf("pre-reboot seq = %d, want 4", last.Seq)
+	}
+	if _, ok := m.Retransmit(4); !ok {
+		t.Fatal("ring empty before reboot")
+	}
+	m.Reboot()
+	if m.Reboots() != 1 {
+		t.Fatalf("Reboots = %d, want 1", m.Reboots())
+	}
+	for seq := uint32(1); seq <= 4; seq++ {
+		if _, ok := m.Retransmit(seq); ok {
+			t.Fatalf("seq %d survived the reboot in the retransmit ring", seq)
+		}
+	}
+	rep, err := m.EncodeWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packet.Seq != 0 || rep.Packet.Kind != core.KindKey {
+		t.Fatalf("first post-reboot window seq=%d kind=%v, want a seq-0 key frame",
+			rep.Packet.Seq, rep.Packet.Kind)
+	}
+}

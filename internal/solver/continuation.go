@@ -58,6 +58,12 @@ func FISTAContinuation[T linalg.Float](a linalg.Op[T], y []T, opt Options[T], st
 		}
 		total += last.Iterations
 		x0 = last.X
+		if last.DeadlineExpired {
+			// Budget exhausted mid-path: the stage iterate is the best
+			// answer available; later stages would start and immediately
+			// expire anyway.
+			break
+		}
 		lam *= factor
 	}
 	last.Iterations = total

@@ -61,6 +61,21 @@ type Options[T linalg.Float] struct {
 	// costs one extra operator apply per iteration (for the objective),
 	// so enable it only in instrumented runs.
 	Trace func(iter int, s IterSample)
+	// DeadlineNs, when nonzero, is an absolute soft deadline in the
+	// nanoseconds of the Now clock: once Now() reaches it the solver
+	// stops at the current iterate and flags the result
+	// DeadlineExpired. The iterate is the best-so-far answer — a
+	// degraded reconstruction, never an error — so real-time callers
+	// always get samples to display.
+	DeadlineNs int64
+	// Now supplies the clock for deadline checks. It must be injected
+	// (telemetry.Clock.Now fits): library code stays deterministic, so
+	// there is no time.Now fallback — a nonzero DeadlineNs with a nil
+	// Now disables the deadline.
+	Now func() int64
+	// DeadlineEvery is the iteration stride between deadline checks.
+	// Defaults to DefaultDeadlineEvery if zero.
+	DeadlineEvery int
 }
 
 // IterSample is one iteration's solver telemetry, as recorded by the
@@ -84,6 +99,9 @@ type Result[T linalg.Float] struct {
 	// Converged is true when the tolerance (not the iteration cap)
 	// stopped the run.
 	Converged bool
+	// DeadlineExpired is true when the soft deadline (Options.DeadlineNs)
+	// stopped the run; X then holds the best-so-far iterate.
+	DeadlineExpired bool
 	// Objective is the final F(α).
 	Objective T
 	// Lambda and Lipschitz echo the values used (after defaulting).
@@ -112,6 +130,7 @@ func FISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], er
 		copy(yk, opt.X0)
 	}
 	tk := T(1)
+	dl := newDeadline(&opt)
 	res := Result[T]{Lambda: opt.Lambda, Lipschitz: opt.Lipschitz}
 	for k := 1; k <= opt.MaxIter; k++ {
 		// α_k = prox_{λ/L}(y_k − (1/L)∇f(y_k)), Eq. (4).
@@ -158,6 +177,11 @@ func FISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], er
 			copy(alphaPrev, alpha)
 			break
 		}
+		if dl.expired(k) {
+			res.DeadlineExpired = true
+			copy(alphaPrev, alpha)
+			break
+		}
 		// Swap roles: α_k becomes α_{k−1}; the old buffer is fully
 		// overwritten by the next prox step.
 		alpha, alphaPrev = alphaPrev, alpha
@@ -187,6 +211,7 @@ func ISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 		}
 		copy(alpha, opt.X0)
 	}
+	dl := newDeadline(&opt)
 	res := Result[T]{Lambda: opt.Lambda, Lipschitz: opt.Lipschitz}
 	for k := 1; k <= opt.MaxIter; k++ {
 		copy(prev, alpha)
@@ -216,6 +241,10 @@ func ISTA[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 		}
 		if st.converged(alpha, prev, opt.Tol) {
 			res.Converged = true
+			break
+		}
+		if dl.expired(k) {
+			res.DeadlineExpired = true
 			break
 		}
 	}

@@ -74,6 +74,7 @@ func GPSR[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 	// Initial step from the Lipschitz constant (‖A‖² = L/2 under the
 	// package convention).
 	alpha := 2 / opt.Lipschitz
+	dl := newDeadline(&opt)
 	res := Result[T]{Lambda: lambda, Lipschitz: opt.Lipschitz}
 	prevObj := objective()
 	for k := 1; k <= opt.MaxIter; k++ {
@@ -184,6 +185,10 @@ func GPSR[T linalg.Float](a linalg.Op[T], y []T, opt Options[T]) (Result[T], err
 		}
 		if opt.Tol > 0 && float64(stepNorm) < opt.Tol*opt.Tol*float64(xn*xn) {
 			res.Converged = true
+			break
+		}
+		if dl.expired(k) {
+			res.DeadlineExpired = true
 			break
 		}
 	}

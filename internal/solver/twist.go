@@ -56,6 +56,7 @@ func TwIST[T linalg.Float](a linalg.Op[T], y []T, opt TwISTOptions[T]) (Result[T
 		copy(prev, opt.X0)
 		copy(cur, opt.X0)
 	}
+	dl := newDeadline(&opt.Options)
 	res := Result[T]{Lambda: opt.Lambda, Lipschitz: opt.Lipschitz}
 	objCur := st.objective(cur, opt.Lambda)
 	for k := 1; k <= opt.MaxIter; k++ {
@@ -88,6 +89,12 @@ func TwIST[T linalg.Float](a linalg.Op[T], y []T, opt TwISTOptions[T]) (Result[T
 			prev, cur = cur, next
 			objCur = objNext
 			res.Converged = true
+			break
+		}
+		if dl.expired(k) {
+			prev, cur = cur, next
+			objCur = objNext
+			res.DeadlineExpired = true
 			break
 		}
 		prev, cur, next = cur, next, prev

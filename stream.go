@@ -109,6 +109,15 @@ type StreamReport struct {
 	Extension float64
 	// Display is the viewer simulation over the session's decode times.
 	Display *coordinator.DisplayReport
+	// CRCRejected counts wire frames the receiver's ingest integrity
+	// check refused — channel corruption stopped before the decoder.
+	CRCRejected int
+	// DegradedWindows counts decodes flagged reduced-quality by the
+	// coordinator's degradation ladder or the solver's soft deadline.
+	DegradedWindows int
+	// Shed counts windows dropped by the receiver's bounded admission
+	// queue under overload (oldest non-key first).
+	Shed int
 	// Transport reports the receiver's gap/resync accounting: gap
 	// episodes, longest outage, recovery latency distribution, control
 	// traffic.
@@ -313,6 +322,9 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			if d.Bad {
 				rep.BadWindows++
 			}
+			if d.Res.Degraded {
+				rep.DegradedWindows++
+			}
 			if cfg.Observer != nil {
 				cfg.Observer.OnWindow(monitor.WindowStatus{
 					Seq:        d.Seq,
@@ -321,6 +333,8 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 					Residual:   d.Res.ResidualNorm,
 					Iterations: d.Res.Iterations,
 					Converged:  d.Res.Converged,
+					Degraded:   d.Res.Degraded,
+					Rung:       d.Res.Rung,
 					LatencyNs:  latency,
 					TimelineNs: decodeFreeAt,
 				})
@@ -356,10 +370,16 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			}
 		}
 	}
-	// deliver pushes every frame the channel produced into the receiver;
-	// rxEnd/durNs place the arrival on the modeled timeline.
-	deliver := func(pkts []*core.Packet, rxEnd, durNs int64) error {
-		for _, p := range pkts {
+	// deliver runs every wire frame the channel produced through the
+	// receiver's integrity check and reassembly; a CRC-rejected frame is
+	// counted and dropped like a channel loss. rxEnd/durNs place the
+	// arrival on the modeled timeline.
+	deliver := func(frames [][]byte, rxEnd, durNs int64) error {
+		for _, f := range frames {
+			p, err := rx.ParseFrame(f)
+			if err != nil {
+				continue // corrupt on the wire: rejected at ingest
+			}
 			rxAt[p.Seq] = rxEnd
 			stageHist[telemetry.StageRX].Observe(durNs)
 			if tr != nil {
@@ -373,6 +393,16 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			score(out)
 		}
 		return nil
+	}
+	// transmit marshals one packet onto the downlink, returning the
+	// delivered wire frames and the modeled airtime.
+	transmit := func(p *core.Packet) ([][]byte, int64, error) {
+		blob, err := p.Marshal()
+		if err != nil {
+			return nil, 0, err
+		}
+		frames, at := lnk.TransmitMulti(blob)
+		return frames, int64(at), nil
 	}
 	// serveControl carries one control packet over the uplink and, when
 	// it survives, has the mote act on it. Retransmitted frames cross
@@ -399,12 +429,11 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 						nowNs, telemetry.I("seq", int64(pkt.Seq)))
 				}
 				before := lnk.Stats().Airtime
-				pkts, at, err := lnk.TransmitPacketMulti(pkt)
+				frames, txNs, err := transmit(pkt)
 				if err != nil {
 					return err
 				}
 				rep.RetransmitAirtime += lnk.Stats().Airtime - before
-				txNs := int64(at)
 				stageHist[telemetry.StageTX].Observe(txNs)
 				if tr != nil {
 					tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
@@ -412,7 +441,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 				}
 				nowNs += txNs
 				noteLoss(int64(pkt.Seq))
-				if err := deliver(pkts, nowNs, txNs); err != nil {
+				if err := deliver(frames, nowNs, txNs); err != nil {
 					return err
 				}
 			}
@@ -458,11 +487,10 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		}
 		nowNs += csNs + diffNs + huffNs
 
-		pkts, at, err := lnk.TransmitPacketMulti(mr.Packet)
+		frames, txNs, err := transmit(mr.Packet)
 		if err != nil {
 			return nil, err
 		}
-		txNs := int64(at)
 		stageHist[telemetry.StageTX].Observe(txNs)
 		if tr != nil {
 			tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
@@ -470,7 +498,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		}
 		nowNs += txNs
 		noteLoss(w)
-		if err := deliver(pkts, nowNs, txNs); err != nil {
+		if err := deliver(frames, nowNs, txNs); err != nil {
 			return nil, err
 		}
 		ctrlPkts, late := rx.EndSlot()
@@ -510,7 +538,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 	// End of session: the reorder model releases anything still held,
 	// then the receiver abandons what never arrived.
-	if err := deliver(lnk.FlushPackets(), nowNs, 0); err != nil {
+	if err := deliver(lnk.Flush(), nowNs, 0); err != nil {
 		return nil, err
 	}
 	score(rx.Close())
@@ -531,6 +559,8 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 
 	rep.Transport = rx.Stats()
 	rep.Decoded = rep.Transport.Decoded
+	rep.CRCRejected = rep.Transport.Rejected
+	rep.Shed = rep.Transport.Shed
 	rep.Retransmits = m.Retransmits()
 	if prCount > 0 {
 		rep.MeanPRDN = sumPRDN / float64(prCount)

@@ -195,3 +195,38 @@ func TestStreamSharedRegistryAcrossSessions(t *testing.T) {
 		t.Error("pooled registry missing decode-latency observations")
 	}
 }
+
+// TestStreamReportsCRCRejections pins the ingest integrity wiring: on a
+// bit-flipping channel the receiver's CRC — not the link model —
+// rejects corrupt frames, and the count surfaces in the report and the
+// telemetry registry.
+func TestStreamReportsCRCRejections(t *testing.T) {
+	reg := NewMetrics()
+	cfg := StreamConfig{
+		RecordID: "100",
+		Seconds:  60,
+		Params:   Params{Seed: 0x7A4, M: MForCR(50, WindowSize), KeyFrameInterval: 8},
+		Mode:     ModeNEON,
+		Metrics:  reg,
+	}
+	cfg.Link = DefaultLinkConfig()
+	cfg.Link.BitFlipProb = 0.001
+	cfg.Link.Seed = 0xBADC0DE
+	rep, err := RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CRCRejected == 0 {
+		t.Fatal("bit-flipping channel produced no CRC rejections; corruption bypassed ingest")
+	}
+	if rep.CRCRejected != rep.Transport.Rejected {
+		t.Fatalf("CRCRejected %d != Transport.Rejected %d", rep.CRCRejected, rep.Transport.Rejected)
+	}
+	if got := reg.Counter("transport_crc_rejected_total").Load(); got != int64(rep.CRCRejected) {
+		t.Fatalf("transport_crc_rejected_total = %d, want %d", got, rep.CRCRejected)
+	}
+	// Rejected frames are losses: the session still recovers and decodes.
+	if rep.Decoded == 0 {
+		t.Fatal("nothing decoded under corruption")
+	}
+}
