@@ -107,9 +107,9 @@ func perfSuite() (*bench.Summary, error) {
 
 	reg := csecg.NewMetrics()
 	for i := 0; i < 40; i++ {
-		reg.Counter("perf_counter").Inc()
-		reg.Gauge("perf_gauge").Set(int64(i))
-		reg.Histogram("perf_hist").Observe(int64(1) << uint(i%40))
+		reg.Counter("perf_ops_total").Inc()
+		reg.Gauge("perf_queue_depth").Set(int64(i))
+		reg.Histogram("perf_latency_ns").Observe(int64(1) << uint(i%40))
 	}
 
 	suite := []struct {

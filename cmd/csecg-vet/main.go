@@ -1,9 +1,12 @@
 // Command csecg-vet runs csecg's domain-specific static analyzers over
-// the module: nofpu (no floating point in device-side packages), noalloc
-// (no allocation in //csecg:hotpath functions), budget (device RAM/flash
+// the module: nofpu (no floating point in device-side packages,
+// transitively through the call graph), noalloc (no allocation in
+// //csecg:hotpath functions, also transitive), budget (device RAM/flash
 // ledgers within the MSP430F1611 envelope), determinism (no
-// nondeterminism sources in library packages) and errcheck (no dropped
-// errors).
+// nondeterminism sources in library packages), errcheck (no dropped
+// errors), lockcheck (no blocking calls under a held mutex, consistent
+// lock ordering), leakcheck (no goroutines without a shutdown path) and
+// metriclint (metric naming, constant label sets, registry export).
 //
 // Usage:
 //
@@ -15,10 +18,20 @@
 //
 //	file:line:col: [analyzer] message
 //
-// Flags: -json emits the findings as a JSON array; -suggest appends the
-// nearest allowed alternative to each finding (for example
-// internal/fixedpoint for float math); and each analyzer has a matching
-// bool flag (-nofpu=false disables it).
+// Flags:
+//
+//	-json            emit the findings as a JSON array
+//	-sarif           emit the findings as a SARIF 2.1.0 log
+//	-suggest         append the nearest allowed alternative to each finding
+//	-graph FILE      dump the module call graph as Graphviz DOT to FILE
+//	                 ("-" for stdout)
+//	-baseline FILE   suppress findings recorded in FILE (see -write-baseline)
+//	-write-baseline FILE
+//	                 write the current findings to FILE as a baseline and
+//	                 exit 0; subsequent -baseline runs report only new
+//	                 findings
+//	-<analyzer>=false
+//	                 disable one analyzer (-nofpu=false, -lockcheck=false, …)
 package main
 
 import (
@@ -40,13 +53,21 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("csecg-vet", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	suggest := fs.Bool("suggest", false, "append the nearest allowed alternative to each finding")
+	graphOut := fs.String("graph", "", "dump the module call graph as Graphviz DOT to `file` (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in baseline `file`")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to baseline `file` and exit")
 	all := analysis.Analyzers()
 	enabled := map[string]*bool{}
 	for _, a := range all {
 		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+a.Doc+")")
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "csecg-vet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -65,6 +86,12 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
 		return 2
+	}
+
+	if *graphOut != "" {
+		if code := dumpGraph(mod, *graphOut); code != 0 {
+			return code
+		}
 	}
 
 	var active []*analysis.Analyzer
@@ -89,7 +116,39 @@ func run(args []string) int {
 		}
 	}
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteBaseline(f, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "csecg-vet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		baseline, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+			return 2
+		}
+		var suppressed int
+		diags, suppressed = analysis.FilterBaseline(diags, baseline)
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %d finding(s) suppressed by baseline %s\n", suppressed, *baselinePath)
+		}
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -99,7 +158,12 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, diags, active); err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(os.Stdout, d.String())
 			if *suggest && d.Suggestion != "" {
@@ -109,6 +173,32 @@ func run(args []string) int {
 	}
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// dumpGraph writes the module call graph as DOT to path ("-" = stdout).
+func dumpGraph(mod *analysis.Module, path string) int {
+	g := analysis.BuildCallGraph(mod)
+	if path == "-" {
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", err)
+		return 2
+	}
+	werr := g.WriteDOT(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "csecg-vet: %v\n", werr)
+		return 2
 	}
 	return 0
 }

@@ -183,6 +183,7 @@ func main() {
 
 	// Display: drain at the real-time rate, draw a strip per window.
 	wg.Add(1)
+	//csecg:leakok terminated by displayBuf.close() waking the cond-based ring
 	go func() {
 		defer wg.Done()
 		for {

@@ -110,23 +110,84 @@ func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
 	})
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Run (per package) and RunModule (over
+// the whole module with the call graph available) are both optional;
+// an analyzer may define either or both halves under one name — nofpu
+// and noalloc pair an intraprocedural Run with a transitive RunModule.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full v2 suite in reporting order: the five
+// original per-package analyzers (nofpu and noalloc now also carrying
+// their transitive halves) plus the three call-graph analyzers for the
+// host plane.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoFPU, NoAlloc, Budget, Determinism, ErrCheck}
+	return []*Analyzer{NoFPU, NoAlloc, Budget, Determinism, ErrCheck, LockCheck, LeakCheck, MetricLint}
 }
 
-// RunPackage executes the given analyzers over one package.
+// ModulePass is one module-wide analyzer's view of the whole module:
+// every package, the call graph, and the directive index of each
+// package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Config   Config
+	Fset     *token.FileSet
+	Module   *Module
+	Graph    *CallGraph
+	dirs     map[string]*Directives
+	diags    *[]Diagnostic
+	seen     map[string]bool
+}
+
+// Dirs returns (building on demand) the directive index of pkg.
+func (p *ModulePass) Dirs(pkg *Package) *Directives {
+	d, ok := p.dirs[pkg.ImportPath]
+	if !ok {
+		d = scanDirectives(p.Fset, pkg)
+		p.dirs[pkg.ImportPath] = d
+	}
+	return d
+}
+
+// NodeDirs returns the directive index of the package declaring n (nil
+// for out-of-module nodes).
+func (p *ModulePass) NodeDirs(n *FuncNode) *Directives {
+	if n == nil || n.Pkg == nil {
+		return nil
+	}
+	return p.Dirs(n.Pkg)
+}
+
+// Report records a module-wide finding, deduplicated per analyzer and
+// source line like Pass.Report.
+func (p *ModulePass) Report(pos token.Pos, msg, suggestion string) {
+	position := p.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    msg,
+		Suggestion: suggestion,
+	})
+}
+
+// RunPackage executes the per-package half of the given analyzers over
+// one package (module-wide halves need RunModule).
 func RunPackage(fset *token.FileSet, pkg *Package, cfg Config, analyzers []*Analyzer) []Diagnostic {
 	dirs := scanDirectives(fset, pkg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Config:   cfg,
@@ -141,12 +202,34 @@ func RunPackage(fset *token.FileSet, pkg *Package, cfg Config, analyzers []*Anal
 	return diags
 }
 
-// RunModule executes the analyzers over every package of the module and
-// returns the findings sorted by position.
+// RunModule executes the analyzers over every package of the module —
+// per-package halves first, then the module-wide halves over a shared
+// call graph — and returns the findings sorted by position.
 func RunModule(mod *Module, cfg Config, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range mod.Pkgs {
 		diags = append(diags, RunPackage(mod.Fset, pkg, cfg, analyzers)...)
+	}
+	var graph *CallGraph
+	dirs := map[string]*Directives{}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(mod)
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Config:   cfg,
+			Fset:     mod.Fset,
+			Module:   mod,
+			Graph:    graph,
+			dirs:     dirs,
+			diags:    &diags,
+			seen:     map[string]bool{},
+		}
+		a.RunModule(mp)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

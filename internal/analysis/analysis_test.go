@@ -53,15 +53,8 @@ func parseWants(t *testing.T, dir string) []*wantDiag {
 	return wants
 }
 
-func runGolden(t *testing.T, name string, a *Analyzer, cfg func(importPath string) Config) {
+func matchWants(t *testing.T, dir string, diags []Diagnostic) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
-	importPath := name + "test"
-	pkg, fset, err := LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
-	}
-	diags := RunPackage(fset, pkg, cfg(importPath), []*Analyzer{a})
 	wants := parseWants(t, dir)
 	for _, d := range diags {
 		base := filepath.Base(d.Pos.Filename)
@@ -82,6 +75,32 @@ func runGolden(t *testing.T, name string, a *Analyzer, cfg func(importPath strin
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}
+}
+
+func runGolden(t *testing.T, name string, a *Analyzer, cfg func(importPath string) Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	importPath := name + "test"
+	pkg, fset, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	matchWants(t, dir, RunPackage(fset, pkg, cfg(importPath), []*Analyzer{a}))
+}
+
+// runGoldenModule is runGolden for analyzers with a RunModule half: the
+// testdata package is wrapped into a single-package module so the call
+// graph and directive index exist.
+func runGoldenModule(t *testing.T, name string, a *Analyzer, cfg func(importPath string) Config) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	importPath := name + "test"
+	pkg, fset, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	mod := &Module{Root: dir, Path: importPath, Fset: fset, Pkgs: []*Package{pkg}}
+	matchWants(t, dir, RunModule(mod, cfg(importPath), []*Analyzer{a}))
 }
 
 func TestNoFPUGolden(t *testing.T) {
@@ -107,6 +126,28 @@ func TestDeterminismGolden(t *testing.T) {
 
 func TestErrCheckGolden(t *testing.T) {
 	runGolden(t, "errcheck", ErrCheck, func(ip string) Config { return Config{} })
+}
+
+func TestNoAllocTransitiveGolden(t *testing.T) {
+	runGoldenModule(t, "noalloctrans", NoAlloc, func(ip string) Config { return Config{} })
+}
+
+func TestNoFPUTransitiveGolden(t *testing.T) {
+	runGoldenModule(t, "nofputrans", NoFPU, func(ip string) Config {
+		return Config{DevicePackages: []string{ip}}
+	})
+}
+
+func TestLockCheckGolden(t *testing.T) {
+	runGoldenModule(t, "lockcheck", LockCheck, func(ip string) Config { return Config{} })
+}
+
+func TestLeakCheckGolden(t *testing.T) {
+	runGoldenModule(t, "leakcheck", LeakCheck, func(ip string) Config { return Config{} })
+}
+
+func TestMetricLintGolden(t *testing.T) {
+	runGoldenModule(t, "metriclint", MetricLint, func(ip string) Config { return Config{} })
 }
 
 // TestModuleIsClean is the end-to-end gate: the full suite over the

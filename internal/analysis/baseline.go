@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Baseline is a committed list of accepted findings: adopting a new
+// analyzer on a tree with pre-existing findings would otherwise force
+// fixing everything in one change. Entries match on file, analyzer and
+// message — not line numbers, which churn with every edit — so a
+// baselined finding stays suppressed until it is actually fixed (or
+// multiplied: new instances of the same message in the same file are
+// also suppressed, the standard ratchet trade-off). The project keeps
+// its committed baseline empty (CI fails otherwise); the mechanism
+// exists for bisecting and for bootstrapping future analyzers.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteBaseline writes diags as a baseline, sorted and deduplicated.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	seen := map[BaselineEntry]bool{}
+	for _, d := range diags {
+		e := BaselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error.
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// FilterBaseline drops findings present in the baseline and returns
+// the rest, plus the count suppressed.
+func FilterBaseline(diags []Diagnostic, baseline []BaselineEntry) (kept []Diagnostic, suppressed int) {
+	idx := make(map[BaselineEntry]bool, len(baseline))
+	for _, e := range baseline {
+		idx[e] = true
+	}
+	for _, d := range diags {
+		if idx[BaselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -22,12 +22,21 @@ import (
 //
 // Verbs:
 //
-//	host     nofpu exemption — host-side modeling/decoder code
-//	hotpath  noalloc opt-in — function must not allocate
-//	allocok  noalloc waiver — allocation proven amortized/capped
+//	host     nofpu exemption — host-side modeling/decoder code; on a
+//	         call site it also stops the transitive nofpu walk
+//	hotpath  noalloc opt-in — function must not allocate, nor reach an
+//	         allocation through any callee (transitive)
+//	allocok  noalloc waiver — allocation proven amortized/capped; on a
+//	         call site it also stops the transitive noalloc walk
 //	orderok  determinism waiver — map iteration proven order-independent
 //	nondet   determinism waiver — intentional wall-clock/nondeterminism
 //	errok    errcheck waiver — error intentionally discarded
+//	lockok   lockcheck waiver — blocking under the lock is the point
+//	         (e.g. a writer whose job is serializing I/O)
+//	leakok   leakcheck waiver — goroutine terminated by external means
+//	         the analyzer cannot see (cond-wakeup, process exit)
+//	metricok metriclint waiver — dynamic metric name or unexported
+//	         registry proven intentional (export loops, benchmarks)
 //	ram      budget marker — const contributes to the RAM ledger
 //	flash    budget marker — const contributes to the flash ledger
 //	codebookflash  budget marker — const counts against both the flash

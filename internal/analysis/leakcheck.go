@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck flags goroutines launched without a shutdown path. The
+// host plane spawns workers for streaming, draining and export; one
+// that loops forever with no context.Context or done channel in reach
+// outlives its session and leaks (ROADMAP: the monitor must survive
+// mote churn without accreting goroutines). A goroutine passes if its
+// body can observe a cancellation signal — it mentions a
+// context.Context or channel-typed expression (parameter, captured
+// variable, struct field or receiver) — or if it has no loop at all
+// (bounded work terminates by itself). Spawns through dynamic function
+// values are skipped (soundness limit, DESIGN.md §12); an
+// externally-terminated goroutine is waived with //csecg:leakok.
+var LeakCheck = &Analyzer{
+	Name:      "leakcheck",
+	Doc:       "flag goroutines launched without a reachable shutdown path",
+	RunModule: runLeakCheck,
+}
+
+const leakSuggestion = "pass a context.Context or done channel and select on it in the loop, or waive an externally-terminated goroutine with //csecg:leakok"
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isSignalType reports whether t can carry a shutdown signal: a channel
+// or a context.Context (directly, not buried in a struct — a goroutine
+// holding a struct must still name the signal field to observe it, and
+// that selector expression is what the body scan sees).
+func isSignalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// bodyHasShutdownPath reports whether the goroutine body (or its
+// signature) can observe cancellation: any expression of channel or
+// context type appears, or the body has no loop (bounded work).
+func bodyHasShutdownPath(info *types.Info, sig *types.Signature, body *ast.BlockStmt) bool {
+	if sig != nil {
+		if r := sig.Recv(); r != nil && isSignalType(r.Type()) {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isSignalType(sig.Params().At(i).Type()) {
+				return true
+			}
+		}
+	}
+	hasLoop, hasSignal := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		case *ast.SelectStmt:
+			// A select observes its channels even when they only appear
+			// inside comm clauses the type-checker records normally —
+			// covered by the expression scan below.
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok && isSignalType(tv.Type) {
+				hasSignal = true
+			}
+		}
+		return !(hasLoop && hasSignal)
+	})
+	return hasSignal || !hasLoop
+}
+
+func runLeakCheck(p *ModulePass) {
+	for _, pkg := range p.Module.Pkgs {
+		info := pkg.Info
+		dirs := p.Dirs(pkg)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if dirs.covered("leakok", g.Pos()) {
+					return true
+				}
+				var sig *types.Signature
+				var body *ast.BlockStmt
+				bodyInfo := info
+				label := "goroutine"
+				switch fun := unparen(g.Call.Fun).(type) {
+				case *ast.FuncLit:
+					if tv, ok := info.Types[fun.Type]; ok {
+						sig, _ = tv.Type.(*types.Signature)
+					}
+					body = fun.Body
+				default:
+					// Named function or method: resolve through the call
+					// graph's view of the module.
+					fn := staticCallee(info, g.Call)
+					if fn == nil {
+						return true // dynamic spawn — documented soundness limit
+					}
+					node := p.Graph.Node(fn)
+					if node == nil || !node.InModule() {
+						return true // out-of-module target: body not visible
+					}
+					sig, _ = fn.Type().(*types.Signature)
+					body = node.Decl.Body
+					bodyInfo = node.Pkg.Info
+					label = node.ShortName()
+				}
+				if body == nil || bodyHasShutdownPath(bodyInfo, sig, body) {
+					return true
+				}
+				p.Report(g.Pos(),
+					fmt.Sprintf("%s loops without a shutdown path: no context.Context or channel is reachable from its body", label),
+					leakSuggestion)
+				return true
+			})
+		}
+	}
+}
+
+// staticCallee resolves a call to its static *types.Func target, or nil
+// for dynamic calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

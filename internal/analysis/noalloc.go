@@ -16,8 +16,11 @@ import (
 // capacity-bounded is waived with //csecg:allocok.
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
-	Doc:  "forbid allocation in //csecg:hotpath functions",
+	Doc:  "forbid allocation in //csecg:hotpath functions, transitively through the call graph",
 	Run:  runNoAlloc,
+	// The transitive half (DESIGN.md §12) walks the call graph so a
+	// hotpath cannot reach an allocation through an unannotated helper.
+	RunModule: runNoAllocTransitive,
 }
 
 const allocSuggestion = "preallocate in the constructor and reuse, or waive a capacity-bounded append with //csecg:allocok"
@@ -32,82 +35,105 @@ func runNoAlloc(pass *Pass) {
 		if fn.Recv != nil && len(fn.Recv.List) > 0 {
 			name = recvTypeName(fn.Recv.List[0].Type) + "." + name
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			if n == nil {
-				return true
-			}
-			if pass.Dirs.covered("allocok", n.Pos()) {
-				return false
-			}
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkAllocCall(pass, info, name, n)
-			case *ast.CompositeLit:
-				tv, ok := info.Types[ast.Expr(n)]
-				if !ok || tv.Type == nil {
-					return true
-				}
-				switch tv.Type.Underlying().(type) {
-				case *types.Map:
-					pass.Report(n.Pos(), fmt.Sprintf("map literal allocates in hotpath %s", name), allocSuggestion)
-				case *types.Slice:
-					pass.Report(n.Pos(), fmt.Sprintf("slice literal allocates in hotpath %s", name), allocSuggestion)
-				}
-			case *ast.UnaryExpr:
-				if n.Op == token.AND {
-					if _, ok := n.X.(*ast.CompositeLit); ok {
-						pass.Report(n.Pos(), fmt.Sprintf("&composite literal may escape to the heap in hotpath %s", name), allocSuggestion)
-					}
-				}
-			case *ast.FuncLit:
-				pass.Report(n.Pos(), fmt.Sprintf("closure allocates in hotpath %s", name), allocSuggestion)
-				return false
-			case *ast.BinaryExpr:
-				if n.Op == token.ADD {
-					if tv, ok := info.Types[ast.Expr(n)]; ok && isString(tv.Type) {
-						pass.Report(n.Pos(), fmt.Sprintf("string concatenation allocates in hotpath %s", name), allocSuggestion)
-					}
-				}
-			case *ast.AssignStmt:
-				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
-					if tv, ok := info.Types[n.Lhs[0]]; ok && tv.Type != nil && isString(tv.Type) {
-						pass.Report(n.Pos(), fmt.Sprintf("string concatenation allocates in hotpath %s", name), allocSuggestion)
-					}
-				}
-			case *ast.GoStmt:
-				pass.Report(n.Pos(), fmt.Sprintf("goroutine launch allocates in hotpath %s", name), allocSuggestion)
-			}
+		forEachAllocSite(info, pass.Dirs, fn.Body, func(pos token.Pos, form string) bool {
+			pass.Report(pos, fmt.Sprintf("%s in hotpath %s", form, name), allocSuggestion)
 			return true
 		})
 	}
 }
 
-// checkAllocCall flags allocating call forms: make, new, append, and
-// string<->[]byte conversions.
-func checkAllocCall(pass *Pass, info *types.Info, fname string, call *ast.CallExpr) {
+// forEachAllocSite walks root and calls report for every allocating
+// form not covered by an //csecg:allocok waiver: make, new, append,
+// map/slice composite literals, &T{...}, closures, string
+// concatenation, string<->[]byte conversions and goroutine launches.
+// report returning false stops the walk — the transitive noalloc half
+// only needs the first site of a callee's body, while the
+// intraprocedural analyzer reports them all.
+func forEachAllocSite(info *types.Info, dirs *Directives, root ast.Node, report func(pos token.Pos, form string) bool) {
+	stop := false
+	emit := func(pos token.Pos, form string) {
+		if !stop && !report(pos, form) {
+			stop = true
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || stop {
+			return !stop
+		}
+		if dirs.covered("allocok", n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pos, form, ok := allocCallForm(info, n); ok {
+				emit(pos, form)
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[ast.Expr(n)]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				emit(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				emit(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					emit(n.Pos(), "&composite literal may escape to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			emit(n.Pos(), "closure allocates")
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[ast.Expr(n)]; ok && isString(tv.Type) {
+					emit(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok && tv.Type != nil && isString(tv.Type) {
+					emit(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.GoStmt:
+			emit(n.Pos(), "goroutine launch allocates")
+		}
+		return true
+	})
+}
+
+// allocCallForm classifies allocating call forms: make, new, append,
+// and string<->[]byte conversions.
+func allocCallForm(info *types.Info, call *ast.CallExpr) (token.Pos, string, bool) {
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make", "new":
-				pass.Report(call.Pos(), fmt.Sprintf("%s allocates in hotpath %s", b.Name(), fname), allocSuggestion)
+				return call.Pos(), b.Name() + " allocates", true
 			case "append":
-				pass.Report(call.Pos(), fmt.Sprintf("append may grow past capacity in hotpath %s", fname), allocSuggestion)
+				return call.Pos(), "append may grow past capacity", true
 			}
-			return
+			return token.NoPos, "", false
 		}
 	}
 	tv, ok := info.Types[call.Fun]
 	if !ok || !tv.IsType() || len(call.Args) != 1 {
-		return
+		return token.NoPos, "", false
 	}
 	argTV, ok := info.Types[call.Args[0]]
 	if !ok || argTV.Type == nil {
-		return
+		return token.NoPos, "", false
 	}
 	to, from := tv.Type, argTV.Type
 	if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
-		pass.Report(call.Pos(), fmt.Sprintf("string/[]byte conversion allocates in hotpath %s", fname), allocSuggestion)
+		return call.Pos(), "string/[]byte conversion allocates", true
 	}
+	return token.NoPos, "", false
 }
 
 func isString(t types.Type) bool {

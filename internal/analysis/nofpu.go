@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -15,8 +16,12 @@ import (
 // //csecg:host.
 var NoFPU = &Analyzer{
 	Name: "nofpu",
-	Doc:  "forbid floating point in device-side (mote) packages",
+	Doc:  "forbid floating point in device-side (mote) packages, transitively through the call graph",
 	Run:  runNoFPU,
+	// The transitive half (DESIGN.md §12) walks the call graph so a
+	// device function cannot smuggle floats in through a callee with a
+	// clean integer signature.
+	RunModule: runNoFPUTransitive,
 }
 
 const fpSuggestion = "use integer or internal/fixedpoint Q15/Q31 arithmetic, or mark host-side modeling code //csecg:host"
@@ -130,6 +135,60 @@ func runNoFPU(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// floatUseIn returns the first floating-point use in root (declaration,
+// constant, conversion, call with a float-bearing signature, or float
+// arithmetic), without applying any //csecg:host exemption — the
+// transitive nofpu half uses it to characterize callee bodies, where
+// reaching host-side float code from a device function is exactly the
+// finding.
+func floatUseIn(info *types.Info, root ast.Node) (token.Pos, string, bool) {
+	var pos token.Pos
+	var desc string
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil || found {
+			return !found
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := info.Defs[n]
+			if obj == nil {
+				return true
+			}
+			switch obj.(type) {
+			case *types.Var, *types.Const, *types.TypeName:
+				if containsFloat(obj.Type()) {
+					pos, desc, found = n.Pos(), fmt.Sprintf("declares %q with floating-point type %s", n.Name, obj.Type()), true
+				}
+			}
+		case *ast.BasicLit:
+			if tv, ok := info.Types[ast.Expr(n)]; ok && tv.Type != nil && containsFloat(tv.Type) {
+				pos, desc, found = n.Pos(), fmt.Sprintf("floating-point constant %s", n.Value), true
+			}
+		case *ast.CallExpr:
+			tv, ok := info.Types[n.Fun]
+			if !ok {
+				return true
+			}
+			if tv.IsType() {
+				if containsFloat(tv.Type) {
+					pos, desc, found = n.Pos(), fmt.Sprintf("conversion to floating-point type %s", tv.Type), true
+				}
+				return !found
+			}
+			if sig, ok := tv.Type.(*types.Signature); ok && signatureHasFloat(sig) {
+				pos, desc, found = n.Pos(), fmt.Sprintf("calls %s, whose signature uses floating point", exprString(n.Fun)), true
+			}
+		case *ast.BinaryExpr, *ast.UnaryExpr:
+			if tv, ok := info.Types[n.(ast.Expr)]; ok && tv.Type != nil && containsFloat(tv.Type) {
+				pos, desc, found = n.Pos(), "floating-point arithmetic", true
+			}
+		}
+		return !found
+	})
+	return pos, desc, found
 }
 
 // exprString renders a (selector) expression compactly for messages.

@@ -1,0 +1,74 @@
+// Package leakchecktest exercises leakcheck: goroutines that loop
+// forever with no context or channel in reach have no shutdown path.
+package leakchecktest
+
+import "context"
+
+type pump struct {
+	done chan struct{}
+	n    int
+}
+
+func (p *pump) spin() {
+	for {
+		p.n++
+	}
+}
+
+func (p *pump) drain() {
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+			p.n++
+		}
+	}
+}
+
+func bounded() int {
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += i
+	}
+	return total
+}
+
+func Launch(p *pump) {
+	go func() { // want "goroutine loops without a shutdown path"
+		for {
+			p.n++
+		}
+	}()
+
+	go p.spin() // want "spin loops without a shutdown path"
+
+	go p.drain() // fine: selects on p.done
+
+	go func() { // fine: observes the done channel
+		for {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+		}
+	}()
+
+	go func(ctx context.Context) { // fine: context parameter
+		for ctx.Err() == nil {
+			p.n++
+		}
+	}(context.Background())
+
+	go func() { // fine: no loop, bounded work
+		p.n = bounded()
+	}()
+
+	//csecg:leakok torn down by process exit in this tool
+	go func() {
+		for {
+			p.n++
+		}
+	}()
+}

@@ -1,0 +1,104 @@
+// Package lockchecktest exercises lockcheck: blocking operations under
+// a held mutex, non-reentrant double acquisition, transitive blocking
+// through the call graph, and inconsistent lock ordering.
+package lockchecktest
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	cond  *sync.Cond
+	ch    chan int
+	state int
+}
+
+func (s *server) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "s.mu held while calling time.Sleep"
+	s.mu.Unlock()
+}
+
+func (s *server) DeferSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "s.mu held while calling time.Sleep"
+}
+
+func (s *server) RecvUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = <-s.ch // want "s.mu held while receiving from a channel"
+}
+
+func (s *server) SendAfterUnlock() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.ch <- s.state // fine: lock released first
+}
+
+// slowPath blocks, but only transitively matters when called under a
+// lock.
+func (s *server) slowPath() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) TransitiveBlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slowPath() // want "s.mu held while calling .*slowPath, which blocks"
+}
+
+func (s *server) DoubleAcquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want "s.mu acquired while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// CondWait is fine: sync.Cond.Wait releases the lock while parked.
+func (s *server) CondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == 0 {
+		s.cond.Wait()
+	}
+}
+
+// NonBlockingSelect is fine: the default clause makes it a poll.
+func (s *server) NonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	default:
+	}
+}
+
+func (s *server) Waived() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//csecg:lockok serializer by design; callers expect the stall
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) OrderAB() {
+	s.mu.Lock()
+	s.aux.Lock() // want "inconsistent lock ordering: s.aux acquired while s.mu held"
+	s.state++
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) OrderBA() {
+	s.aux.Lock()
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	s.aux.Unlock()
+}

@@ -1,0 +1,90 @@
+// Package noalloctranstest exercises the transitive half of noalloc:
+// a //csecg:hotpath function must not reach an allocation through any
+// chain of unannotated callees, including interface dispatch.
+package noalloctranstest
+
+import "fmt"
+
+type state struct {
+	buf  []int
+	sink sink
+}
+
+// sink is implemented by one module type; a call through it must be
+// resolved to the implementation's body (interface dispatch).
+type sink interface {
+	put(x int)
+}
+
+type growingSink struct {
+	xs []int
+}
+
+func (g *growingSink) put(x int) {
+	g.xs = append(g.xs, x) // the allocation behind the interface
+}
+
+// helper allocates but carries no annotation — the intraprocedural
+// half never looks at it.
+func helper(s *state) {
+	s.buf = make([]int, 16)
+}
+
+// cleanHelper is allocation-free all the way down.
+func cleanHelper(s *state) int {
+	if len(s.buf) == 0 {
+		return 0
+	}
+	return s.buf[0]
+}
+
+// deep reaches helper through one more hop.
+func deep(s *state) {
+	helper(s)
+}
+
+//csecg:hotpath
+func DirectChain(s *state) {
+	helper(s) // want "hotpath .*DirectChain reaches an allocation: .*DirectChain → .*helper — make allocates"
+}
+
+//csecg:hotpath
+func DeepChain(s *state) {
+	deep(s) // want "hotpath .*DeepChain reaches an allocation: .*DeepChain → .*deep → .*helper — make allocates"
+}
+
+//csecg:hotpath
+func IfaceChain(s *state) {
+	s.sink.put(1) // want "hotpath .*IfaceChain reaches an allocation: .*IfaceChain → .*put \(interface\) — append may grow past capacity"
+}
+
+//csecg:hotpath
+func ErrPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n) // want "hotpath .*ErrPath reaches an allocation: .*ErrPath → fmt.Errorf — formats and allocates an error"
+	}
+	return nil
+}
+
+//csecg:hotpath
+func Clean(s *state) int {
+	return cleanHelper(s)
+}
+
+//csecg:hotpath
+func Waived(s *state) {
+	helper(s) //csecg:allocok warm-up call, runs once before streaming
+}
+
+//csecg:hotpath
+func CallsHotpath(s *state) int {
+	// The callee is itself a hotpath: its body is checked where it is
+	// declared, so no transitive finding is repeated here.
+	return HotLeaf(s)
+}
+
+//csecg:hotpath
+func HotLeaf(s *state) int {
+	s.buf = make([]int, 4) // want "make allocates in hotpath HotLeaf"
+	return len(s.buf)
+}

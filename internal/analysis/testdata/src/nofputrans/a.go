@@ -1,0 +1,49 @@
+// Package nofputranstest exercises the transitive half of nofpu: a
+// device-side function must not reach floating point through a callee
+// with a clean integer signature.
+package nofputranstest
+
+// scale is host-side modeling code: its body may use floats, but a
+// device function has no business calling it.
+//
+//csecg:host offline gain model
+func scale(x int) int {
+	return int(float64(x) * 1.5)
+}
+
+// intOnly is clean all the way down.
+func intOnly(x int) int {
+	return x << 1
+}
+
+// deeper hides the float behind one more integer-signature hop — and
+// is itself a device function, so it gets its own finding too.
+func deeper(x int) int {
+	return scale(x) // want "device function .*deeper reaches floating point: .*deeper → .*scale — .*float"
+}
+
+func Encode(x int) int {
+	return scale(x) // want "device function .*Encode reaches floating point: .*Encode → .*scale — .*float"
+}
+
+func EncodeDeep(x int) int {
+	return deeper(x) // want "device function .*EncodeDeep reaches floating point: .*EncodeDeep → .*deeper → .*scale — .*float"
+}
+
+func EncodeClean(x int) int {
+	return intOnly(x)
+}
+
+func Calibrate(x int) int {
+	//csecg:host calibration runs on the workstation, not the mote
+	return scale(x)
+}
+
+// The direct float-signature call is the intraprocedural analyzer's
+// finding; the transitive half must not repeat it on the same edge.
+func direct(x int) int {
+	return int(raw(float64(x))) // want "calls raw, whose signature uses floating point"
+}
+
+//csecg:host
+func raw(f float64) float64 { return f * 2 }

@@ -95,10 +95,10 @@ func (e *Encoder) Reset() {
 //csecg:hotpath one call per 2-second window; must not allocate
 func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
 	if len(window) != e.p.N {
-		return nil, fmt.Errorf("core: window length %d, want %d", len(window), e.p.N)
+		return nil, fmt.Errorf("core: window length %d, want %d", len(window), e.p.N) //csecg:allocok error path, never taken per-sample
 	}
 	if e.streamIdx != 0 {
-		return nil, fmt.Errorf("core: EncodeWindow with %d streamed samples pending", e.streamIdx)
+		return nil, fmt.Errorf("core: EncodeWindow with %d streamed samples pending", e.streamIdx) //csecg:allocok error path, never taken per-sample
 	}
 	// Stage 0: re-center (the ADC baseline carries no information).
 	for i, v := range window {
@@ -200,7 +200,7 @@ func (e *Encoder) encodeDelta() (*Packet, error) {
 	esc := 0
 	for _, s := range e.symbols {
 		if err := e.p.Codebook.Encode(e.bw, s); err != nil {
-			return nil, fmt.Errorf("core: entropy coding: %w", err)
+			return nil, fmt.Errorf("core: entropy coding: %w", err) //csecg:allocok error path, never taken per-sample
 		}
 		if s == EscapeSymbol {
 			e.bw.WriteBits(uint32(e.escapes[esc])&0xFFFFFF, 24)

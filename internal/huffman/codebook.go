@@ -115,7 +115,7 @@ func (cb *Codebook) MaxLen() int {
 //csecg:hotpath one table lookup per coded symbol
 func (cb *Codebook) Encode(w *BitWriter, s int) error {
 	if s < 0 || s >= len(cb.lengths) || cb.lengths[s] == 0 {
-		return fmt.Errorf("huffman: symbol %d not in codebook", s)
+		return fmt.Errorf("huffman: symbol %d not in codebook", s) //csecg:allocok error path, never taken per-sample
 	}
 	w.WriteBits(uint32(cb.codes[s]), uint(cb.lengths[s]))
 	return nil

@@ -126,10 +126,11 @@ func NewSLO(cfg SLOConfig, session string, reg *telemetry.Registry, sink io.Writ
 }
 
 // Observe records one window's outcome at the given modeled time and
-// re-evaluates the alert state.
+// re-evaluates the alert state. The transition sink write happens
+// outside the critical section: a slow JSONL flush must not stall
+// every State/Burn reader behind the mutex.
 func (s *SLO) Observe(timelineNs int64, violated bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.n == len(s.ring) {
 		if s.ring[s.idx] {
 			s.violations--
@@ -159,6 +160,7 @@ func (s *SLO) Observe(timelineNs int64, violated bool) {
 		}
 	}
 	if next == s.state {
+		s.mu.Unlock()
 		return
 	}
 	tr := Transition{
@@ -179,11 +181,20 @@ func (s *SLO) Observe(timelineNs int64, violated bool) {
 	if s.transitions != nil {
 		s.transitions.Inc()
 	}
-	if s.sink != nil {
-		enc := json.NewEncoder(s.sink)
-		if err := enc.Encode(&tr); err != nil && s.sinkErr == nil {
+	sink := s.sink
+	s.mu.Unlock()
+
+	if sink == nil {
+		return
+	}
+	// Encode performs a single Write per record, so concurrent
+	// transitions interleave as whole JSONL lines, never partial ones.
+	if err := json.NewEncoder(sink).Encode(&tr); err != nil {
+		s.mu.Lock()
+		if s.sinkErr == nil {
 			s.sinkErr = err
 		}
+		s.mu.Unlock()
 	}
 }
 

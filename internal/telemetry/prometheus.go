@@ -106,15 +106,16 @@ func WritePrometheusLabeled(w io.Writer, r *Registry, labels ...Label) error {
 	}
 	for _, name := range r.CounterNames() {
 		writeHelp(name)
+		//csecg:metricok export loop re-reads series already registered
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s%s %d\n", name, name, ls, r.Counter(name).Load())
 	}
 	for _, name := range r.GaugeNames() {
-		g := r.Gauge(name)
+		g := r.Gauge(name) //csecg:metricok export loop re-reads series already registered
 		writeHelp(name)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s %d\n%s_max%s %d\n", name, name, ls, g.Load(), name, ls, g.Max())
 	}
 	for _, name := range r.HistogramNames() {
-		h := r.Histogram(name)
+		h := r.Histogram(name) //csecg:metricok export loop re-reads series already registered
 		writeHelp(name)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
 		var cum int64
