@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint vet-baseline-empty build test race chaos fuzz-smoke bench perf perf-gate
+.PHONY: check vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke bench perf perf-gate
 
-check: vet lint vet-baseline-empty build test race chaos fuzz-smoke
+check: vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,17 @@ chaos:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzPacketStream -fuzztime=10s -run=FuzzPacketStream ./internal/core
 	$(GO) test -fuzz=FuzzUnmarshalPacket -fuzztime=10s -run=FuzzUnmarshalPacket ./internal/core
+	$(GO) test -fuzz=FuzzParseBundle -fuzztime=10s -run=FuzzParseBundle ./internal/blackbox
+
+# replay-smoke closes the incident-forensics loop end to end: run the
+# chaos matrix with the flight recorder sealing diagnostics bundles,
+# then replay every sealed bundle through the real receiver + solver
+# stack and fail on any divergence from the record (DESIGN.md §13).
+replay-smoke:
+	rm -rf bundles-smoke
+	$(GO) run ./cmd/csecg-bench -exp chaos -short -record-dir bundles-smoke
+	@ls bundles-smoke/*.jsonl >/dev/null 2>&1 || { echo "replay-smoke: chaos run sealed no bundles"; exit 1; }
+	$(GO) run ./cmd/csecg-replay -v bundles-smoke/*.jsonl
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -83,6 +83,7 @@ func run() int {
 		compareFile = flag.String("compare", "", "run the perf suite and fail on normalized regressions against this baseline summary")
 		tolerance   = flag.Float64("tolerance", bench.DefaultTolerance, "allowed normalized-time growth before -compare fails")
 		short       = flag.Bool("short", false, "shrink long-running experiments (chaos) to CI-smoke size")
+		recordDir   = flag.String("record-dir", "", "attach a black-box flight recorder to chaos scenarios and seal diagnostics bundles into this directory")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -275,9 +276,16 @@ func run() int {
 			return r.Table(), nil
 		}},
 		{"chaos", func() (*experiments.Table, error) {
-			r, err := experiments.Chaos(*short)
+			r, err := experiments.ChaosRecorded(*short, *recordDir)
 			if err != nil {
 				return nil, err
+			}
+			if *recordDir != "" {
+				for _, row := range r.Rows {
+					for _, b := range row.Bundles {
+						fmt.Printf("chaos %s: sealed %s\n", row.Report.Scenario, b)
+					}
+				}
 			}
 			if fails := r.Failures(); len(fails) > 0 {
 				fmt.Println(r.Table().Render())

@@ -55,6 +55,7 @@ func main() {
 		recovery  = flag.Float64("burst-recovery", 0.4, "Gilbert–Elliott bad→good transition probability")
 		nack      = flag.Bool("nack", false, "enable the NACK control channel and retransmission")
 		sloEvents = flag.String("slo-events", "", "append SLO alert transitions as JSONL to this file ('-' for stdout)")
+		recordDir = flag.String("record-dir", "", "attach a black-box flight recorder per session and seal diagnostics bundles into this directory (also enables POST /debug/bundle)")
 		once      = flag.Bool("once", false, "exit after every session finishes instead of serving forever")
 	)
 	flag.Parse()
@@ -81,7 +82,18 @@ func main() {
 			continue
 		}
 		reg := csecg.NewMetrics()
-		ses := monitor.NewSession(monitor.SessionConfig{Name: "record " + rec, Registry: reg}, sink)
+		var recorder *csecg.FlightRecorder
+		if *recordDir != "" {
+			recorder = csecg.NewFlightRecorder(csecg.FlightRecorderConfig{
+				Session: "record-" + rec,
+				Sink:    csecg.BundleDirSink(*recordDir),
+			})
+		}
+		ses := monitor.NewSession(monitor.SessionConfig{
+			Name:     "record " + rec,
+			Registry: reg,
+			Recorder: recorder,
+		}, sink)
 		srv.Attach(ses)
 		wg.Add(1)
 		recID := rec
@@ -101,13 +113,14 @@ func main() {
 				Transport: csecg.TransportConfig{NACK: *nack},
 				Metrics:   reg,
 				Observer:  ses,
+				Recorder:  recorder,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "csecg-monitor: record %s: %v\n", recID, err)
 				return
 			}
-			fmt.Printf("record %s done: %d windows, %d lost, %d est-bad, mean est PRDN %.2f%% (true %.2f%%), %d gaps\n",
-				recID, rep.Windows, rep.Lost, rep.BadWindows, rep.MeanEstPRDN, rep.MeanPRDN, rep.Transport.Gaps)
+			fmt.Printf("record %s done: %d windows, %d lost, %d est-bad, mean est PRDN %.2f%% (true %.2f%%), %d gaps, %d bundles\n",
+				recID, rep.Windows, rep.Lost, rep.BadWindows, rep.MeanEstPRDN, rep.MeanPRDN, rep.Transport.Gaps, rep.BundlesWritten)
 		})
 	}
 
@@ -139,6 +152,10 @@ func main() {
 		}
 		return
 	}
+	// Drain before closing: refuse new scrape/bundle work, then wait for
+	// in-flight handlers and bundle writes to land on disk.
+	srv.BeginDrain()
+	srv.WaitIdle()
 	if err := httpSrv.Close(); err != nil {
 		fail(err)
 	}

@@ -30,6 +30,7 @@ package csecg
 import (
 	"io"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/coordinator"
 	"csecg/internal/core"
 	"csecg/internal/ecg"
@@ -274,3 +275,34 @@ func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJS
 // PipelineStages lists the per-window lifecycle stage names in pipeline
 // order (sample … reconstruct), the keys of StreamReport.Stages.
 func PipelineStages() []string { return telemetry.Stages() }
+
+// Incident forensics: the black-box flight recorder, its sealed
+// diagnostics bundles, and the deterministic replay harness.
+type (
+	// FlightRecorder rings recent session history (raw frames, decode
+	// summaries, health/SLO events) and seals diagnostics bundles on
+	// anomaly triggers; attach one via StreamConfig.Recorder.
+	FlightRecorder = blackbox.Recorder
+	// FlightRecorderConfig sizes a recorder's rings and rate limits.
+	FlightRecorderConfig = blackbox.Config
+	// DiagnosticsBundle is a parsed bundle.
+	DiagnosticsBundle = blackbox.Bundle
+	// BundleReplayReport is the outcome of replaying a bundle.
+	BundleReplayReport = blackbox.ReplayReport
+)
+
+// NewFlightRecorder builds a black-box flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return blackbox.NewRecorder(cfg)
+}
+
+// BundleDirSink returns a bundle sink writing files into dir.
+func BundleDirSink(dir string) blackbox.Sink { return blackbox.DirSink(dir) }
+
+// ReadBundle loads and parses a diagnostics bundle file.
+func ReadBundle(path string) (*DiagnosticsBundle, error) { return blackbox.ReadBundleFile(path) }
+
+// ReplayBundle feeds a bundle's raw frames back through a freshly built
+// receiver and solver stack and diffs the per-window results against
+// the recorded summaries.
+func ReplayBundle(b *DiagnosticsBundle) (*BundleReplayReport, error) { return blackbox.Replay(b) }

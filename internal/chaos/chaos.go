@@ -17,9 +17,11 @@ import (
 	"sort"
 	"time"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/coordinator"
 	"csecg/internal/core"
 	"csecg/internal/link"
+	"csecg/internal/monitor"
 	"csecg/internal/mote"
 	"csecg/internal/rng"
 )
@@ -68,6 +70,22 @@ type Scenario struct {
 
 	// Seed drives the channel model and the signal synthesizer.
 	Seed uint64
+
+	// Record, when non-nil, attaches a black-box flight recorder sized
+	// by this config to the receive path, plus a quality SLO tracker
+	// whose warn/page escalations trigger bundle seals — the
+	// bundle-under-fault proving ground. Scenarios that perturb solver
+	// costs mid-run (Slowdown > 1) are marked unreproducible so replay
+	// refuses to diff them instead of reporting false divergence.
+	Record *blackbox.Config
+
+	// QualityBadPRDN overrides the paper's 9 % good/bad boundary for the
+	// recorded quality SLO (0 = keep the decoder's Bad verdict). The
+	// synthetic chaos signal reconstructs far inside the boundary even
+	// under heavy loss, so scenarios proving the SLO→bundle trigger
+	// wiring tighten the objective until fault-induced quality erosion —
+	// the gap-rate margin on the PRDN estimate — registers as burn.
+	QualityBadPRDN float64
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -113,6 +131,11 @@ type Report struct {
 	// windows the fast mote clock squeezed into the session.
 	DriftSkew  time.Duration
 	DriftSlips int
+	// Bundles lists the diagnostics bundles the flight recorder sealed
+	// (empty without Scenario.Record); Recorder is the live recorder so
+	// the caller can seal more (e.g. on a contract violation).
+	Bundles  []string
+	Recorder *blackbox.Recorder
 }
 
 // Survived checks the survival contract and returns the first
@@ -229,10 +252,28 @@ func Run(sc Scenario) (*Report, error) {
 		tun.SolverOptions.Tol = -1
 	}
 	pd := &panicDecoder{inner: dec, every: sc.PanicEvery}
-	rx := coordinator.NewReceiver(pd, coordinator.TransportConfig{
+	tcfg := coordinator.TransportConfig{
 		QueueLimit:     sc.QueueLimit,
 		DecodesPerSlot: sc.DecodesPerSlot,
-	})
+	}
+	rx := coordinator.NewReceiver(pd, tcfg)
+
+	var rec *blackbox.Recorder
+	var slo *monitor.SLO
+	if sc.Record != nil {
+		rcfg := *sc.Record
+		if rcfg.Session == "" {
+			rcfg.Session = sc.Name
+		}
+		rec = blackbox.NewRecorder(rcfg)
+		rec.SetMeta(blackbox.NewSessionMeta(rcfg.Session, dec.Params(), coordinator.VFP, tcfg))
+		if sc.Slowdown > 1 {
+			rec.MarkUnreproducible("solver costs perturbed mid-run (slowdown scenario)")
+		}
+		rx.SetRecorder(rec)
+		slo = monitor.NewSLO(monitor.SLOConfig{Name: "quality"}, rcfg.Session, nil, nil)
+		monitor.WireRecorder(slo, rec)
+	}
 
 	rep := &Report{
 		Scenario: sc.Name,
@@ -256,6 +297,15 @@ func Run(sc Scenario) (*Report, error) {
 			}
 			if d.Res.Rung > rep.MaxRung {
 				rep.MaxRung = d.Res.Rung
+			}
+			if slo != nil {
+				bad := d.Bad
+				if sc.QualityBadPRDN > 0 {
+					bad = d.EstPRDN > sc.QualityBadPRDN
+				}
+				// Modeled timeline: one window period per decode keeps
+				// the SLO transition timestamps deterministic.
+				slo.Observe(int64(rep.Decoded)*int64(windowNs), bad)
 			}
 		}
 	}
@@ -346,6 +396,10 @@ func Run(sc Scenario) (*Report, error) {
 	rep.FinalHealth = rx.Health()
 	rep.FinalRung = dec.Rung()
 	rep.DriftSkew = lnk.DriftSkew()
+	if rec != nil {
+		rep.Recorder = rec
+		rep.Bundles = rec.Bundles()
+	}
 	if len(decodeNs) > 0 {
 		sort.Slice(decodeNs, func(i, j int) bool { return decodeNs[i] < decodeNs[j] })
 		idx := (len(decodeNs)*99 + 99) / 100

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"reflect"
 	"testing"
 
 	"csecg/internal/coordinator"
@@ -82,7 +83,7 @@ func TestChaosRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("non-deterministic run:\n%+v\n%+v", a, b)
 	}
 }

@@ -187,6 +187,56 @@ type Decoder interface {
 	Params() core.Params
 }
 
+// WindowCapture is one released window's decode summary as the flight
+// recorder sees it — every field the replay harness must reproduce
+// bit-for-bit, plus the capture coordinates (slot and decode ordinal)
+// that align a bundle's records with its raw frame stream.
+type WindowCapture struct {
+	// Slot is the receiver's window-period counter at release; Ordinal
+	// the session-monotonic decode-attempt index (failures included).
+	Slot    int
+	Ordinal int64
+	// Seq is the window sequence number (per mote boot epoch).
+	Seq uint32
+	// Rung/Iterations/Converged/DeadlineExpired/Degraded summarize the
+	// solve; EscapeCount the entropy decoder's escape symbols.
+	Rung            Rung
+	Iterations      int
+	EscapeCount     int
+	Converged       bool
+	DeadlineExpired bool
+	Degraded        bool
+	// ResidualNorm, EstPRDN and Bad are the ground-truth-free quality
+	// verdict; ModeledNs the cycle-model decode time.
+	ResidualNorm float64
+	EstPRDN      float64
+	Bad          bool
+	ModeledNs    int64
+}
+
+// FlightRecorder taps the receive path for the black-box flight
+// recorder (internal/blackbox implements it). Capture calls run inline
+// on the receive path, so implementations must be allocation-free and
+// fast; RecordDecodeFailure with panicked=true is the anomaly path and
+// may do heavier work (it seals a diagnostics bundle).
+type FlightRecorder interface {
+	// RecordFrame captures one post-CRC wire frame at the given slot,
+	// in arrival order. The recorder must copy the bytes — the caller's
+	// buffer is reused.
+	RecordFrame(slot int, seq uint32, kind uint8, frame []byte)
+	// RecordWindow captures one released window's decode summary.
+	RecordWindow(w WindowCapture)
+	// RecordHealth captures a health transition.
+	RecordHealth(slot int, from, to Health)
+	// RecordDecodeFailure captures one failed decode attempt; panicked
+	// marks a contained panic (an anomaly trigger).
+	RecordDecodeFailure(slot int, ordinal int64, seq uint32, panicked bool)
+	// RecordSlot notes the receiver's slot counter advancing, so a
+	// sealed bundle knows how many window periods it spans even when
+	// the tail slots carried no frames.
+	RecordSlot(slot int)
+}
+
 // Receiver is the coordinator's transport endpoint: it ingests packets
 // off the (lossy, reordering, duplicating) link, releases windows to
 // the platform decoder strictly in order through a bounded admission
@@ -221,6 +271,14 @@ type Receiver struct {
 	// quality estimator's GapRate observable.
 	recent    [recentSlots]int
 	recentIdx int
+
+	// rec, when non-nil, is the black-box flight recorder tapping the
+	// receive path; ordinal counts decode attempts (the alignment key
+	// between bundle window records and scripted replay failures);
+	// panicked flags the last contained decode panic for the tap.
+	rec      FlightRecorder
+	ordinal  int64
+	panicked bool
 
 	stats TransportStats
 	met   *transportMetrics
@@ -290,6 +348,22 @@ func (r *Receiver) Instrument(reg *telemetry.Registry) {
 	reg.SetHelp("transport_recoveries_total", "degraded-to-decoding health transitions")
 }
 
+// SetRecorder attaches a flight recorder to the receive path (nil
+// detaches). Attach before the first Push so the recorded frame stream
+// is complete from the session start.
+func (r *Receiver) SetRecorder(rec FlightRecorder) { r.rec = rec }
+
+// ResumeAt positions a fresh receiver mid-stream for bundle replay: the
+// next expected sequence number and the slot-grid origin of a bundle
+// whose frame ring wrapped. The epoch is aligned so slot-versus-sequence
+// comparisons stay consistent.
+func (r *Receiver) ResumeAt(seq uint32, slot int) {
+	r.expected = seq
+	r.maxSeen = seq
+	r.slot = slot
+	r.epoch = slot - int(seq)
+}
+
 // Health returns the receiver's current liveness state.
 func (r *Receiver) Health() Health {
 	switch {
@@ -336,6 +410,9 @@ func (r *Receiver) syncHealth(before Health) {
 	if r.met != nil {
 		r.met.health.Set(int64(now))
 	}
+	if r.rec != nil && now != before {
+		r.rec.RecordHealth(r.slot, before, now)
+	}
 }
 
 // Stats returns a snapshot of the transport counters.
@@ -356,6 +433,9 @@ func (r *Receiver) ParseFrame(frame []byte) (*core.Packet, error) {
 			r.met.rejected.Inc()
 		}
 		return nil, err
+	}
+	if r.rec != nil {
+		r.rec.RecordFrame(r.slot, pkt.Seq, uint8(pkt.Kind), frame)
 	}
 	return pkt, nil
 }
@@ -514,6 +594,8 @@ func (r *Receiver) pump() []Decoded {
 		r.queue[0] = nil
 		r.queue = r.queue[1:]
 		r.decodesLeft--
+		ord := r.ordinal
+		r.ordinal++
 		res, err := r.decodeContained(pkt)
 		if err != nil {
 			// In-order window the decoder still rejects (a delta behind
@@ -523,6 +605,10 @@ func (r *Receiver) pump() []Decoded {
 			if r.met != nil {
 				r.met.failures.Inc()
 			}
+			if r.rec != nil {
+				r.rec.RecordDecodeFailure(r.slot, ord, pkt.Seq, r.panicked)
+			}
+			r.panicked = false
 			r.bumpOutage(1)
 			r.noteLost(1)
 			continue
@@ -535,7 +621,25 @@ func (r *Receiver) pump() []Decoded {
 		if res.Resynced {
 			r.stats.Resyncs++
 		}
-		out = append(out, r.score(Decoded{Seq: pkt.Seq, Res: res}))
+		d := r.score(Decoded{Seq: pkt.Seq, Res: res})
+		if r.rec != nil {
+			r.rec.RecordWindow(WindowCapture{
+				Slot:            r.slot,
+				Ordinal:         ord,
+				Seq:             pkt.Seq,
+				Rung:            res.Rung,
+				Iterations:      res.Iterations,
+				EscapeCount:     res.EscapeCount,
+				Converged:       res.Converged,
+				DeadlineExpired: res.DeadlineExpired,
+				Degraded:        res.Degraded,
+				ResidualNorm:    res.ResidualNorm,
+				EstPRDN:         d.EstPRDN,
+				Bad:             d.Bad,
+				ModeledNs:       int64(res.ModeledTime),
+			})
+		}
+		out = append(out, d)
 	}
 	if r.met != nil {
 		r.met.queueDepth.Set(int64(len(r.queue)))
@@ -552,6 +656,7 @@ func (r *Receiver) decodeContained(pkt *core.Packet) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.stats.DecodePanics++
+			r.panicked = true
 			if r.met != nil {
 				r.met.panics.Inc()
 			}
@@ -687,6 +792,9 @@ func (r *Receiver) EndSlot() ([]*core.Packet, []Decoded) {
 	before := r.Health()
 	defer func() { r.syncHealth(before) }()
 	r.slot++
+	if r.rec != nil {
+		r.rec.RecordSlot(r.slot)
+	}
 	r.recentIdx = (r.recentIdx + 1) % recentSlots
 	r.recent[r.recentIdx] = 0
 	// A fresh slot brings a fresh decode budget: work off the admission

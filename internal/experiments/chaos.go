@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/chaos"
 )
 
@@ -15,6 +16,9 @@ type ChaosRow struct {
 	// Violation is empty when the scenario was survived, else the
 	// first contract breach.
 	Violation string
+	// Bundles lists the diagnostics bundles the scenario sealed (only
+	// with recording enabled).
+	Bundles []string
 }
 
 // ChaosResult is the survival-layer acceptance matrix: every fault
@@ -40,9 +44,19 @@ func (r *ChaosResult) Failures() []string {
 // the kitchen sink — and judges each run on the contract: zero escaped
 // panics, bounded queue, p99 decode within the packet period, health
 // back to decoding. Short mode shrinks the sessions for CI smoke.
-func Chaos(short bool) (*ChaosResult, error) {
+func Chaos(short bool) (*ChaosResult, error) { return ChaosRecorded(short, "") }
+
+// ChaosRecorded is Chaos with the black-box flight recorder attached:
+// when recordDir is non-empty every scenario records its session, a
+// contract violation seals a diagnostics bundle naming the breach, and
+// scenarios that triggered nothing seal one end-of-run bundle anyway —
+// so a chaos run always leaves replayable evidence behind.
+func ChaosRecorded(short bool, recordDir string) (*ChaosResult, error) {
 	res := &ChaosResult{Short: short}
 	for _, sc := range chaos.Matrix(short) {
+		if recordDir != "" {
+			sc.Record = &blackbox.Config{Sink: blackbox.DirSink(recordDir)}
+		}
 		rep, err := chaos.Run(sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: chaos scenario %s: %w", sc.Name, err)
@@ -54,6 +68,20 @@ func Chaos(short bool) (*ChaosResult, error) {
 		row := ChaosRow{Report: rep, QueueLimit: limit}
 		if err := rep.Survived(limit); err != nil {
 			row.Violation = err.Error()
+			if rep.Recorder != nil {
+				//csecg:errok the seal error is retained in the recorder
+				rep.Recorder.SealNow(blackbox.TriggerChaosViolation, err.Error())
+			}
+		}
+		if rep.Recorder != nil {
+			if len(rep.Recorder.Bundles()) == 0 {
+				//csecg:errok the seal error is retained in the recorder
+				rep.Recorder.SealNow(blackbox.TriggerManual, "end-of-scenario capture")
+			}
+			row.Bundles = rep.Recorder.Bundles()
+			if err := rep.Recorder.SealErr(); err != nil {
+				return nil, fmt.Errorf("experiments: chaos scenario %s: sealing bundle: %w", sc.Name, err)
+			}
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strings"
 	"sync"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/coordinator"
 	"csecg/internal/telemetry"
 )
@@ -75,9 +78,19 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// WaitIdle blocks until every in-flight request has finished. Call
-// after BeginDrain and before closing the listener.
-func (s *Server) WaitIdle() { s.inflight.Wait() }
+// WaitIdle blocks until every in-flight request has finished AND every
+// attached session's flight recorder has flushed its in-flight bundle
+// seals — shutting down mid-incident must not truncate the one artifact
+// that explains the incident. Call after BeginDrain and before closing
+// the listener.
+func (s *Server) WaitIdle() {
+	s.inflight.Wait()
+	for _, ses := range s.snapshot() {
+		if rec := ses.Recorder(); rec != nil {
+			rec.Drain()
+		}
+	}
+}
 
 // track wraps a handler with the in-flight accounting behind WaitIdle.
 func (s *Server) track(path string, h http.HandlerFunc) http.HandlerFunc {
@@ -92,13 +105,15 @@ func (s *Server) track(path string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // Handler returns the plane's mux: /metrics, /healthz, /readyz,
-// /sessions.
+// /sessions, plus POST /debug/bundle to seal diagnostics bundles on
+// demand.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.track("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.track("/healthz", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.track("/readyz", s.handleReadyz))
 	mux.HandleFunc("/sessions", s.track("/sessions", s.handleSessions))
+	mux.HandleFunc("/debug/bundle", s.track("/debug/bundle", s.handleBundle))
 	return mux
 }
 
@@ -113,9 +128,16 @@ func send(w http.ResponseWriter, status int, contentType string, body []byte) {
 }
 
 // handleMetrics renders every session's registry with a session label,
-// concatenated into one exposition document.
+// concatenated into one exposition document, prefixed by the process-
+// level series (build metadata, uptime) that belong to the plane rather
+// than any one session.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP csecg_build_info build metadata as labels; the value is constant 1\n"+
+		"# TYPE csecg_build_info gauge\ncsecg_build_info{%s} 1\n", buildInfoLabels())
+	fmt.Fprintf(&b, "# HELP process_uptime_seconds_total seconds since the observability plane started\n"+
+		"# TYPE process_uptime_seconds_total counter\nprocess_uptime_seconds_total %.3f\n",
+		float64(s.clock.Now()-s.startNs)/1e9)
 	for _, ses := range s.snapshot() {
 		if err := telemetry.WritePrometheusLabeled(&b, ses.Registry(),
 			telemetry.Label{Key: "session", Value: ses.Name()}); err != nil {
@@ -176,6 +198,86 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	send(w, status, "application/json", append(body, '\n'))
+}
+
+// buildInfoLabels renders the csecg_build_info label set from the
+// binary's embedded build metadata: module version, VCS revision and
+// dirty flag, and the Go toolchain. Absent fields (tests, go run) read
+// "unknown" so the series shape is stable.
+func buildInfoLabels() string {
+	version, commit, modified, goVersion := "unknown", "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, st := range bi.Settings {
+			switch st.Key {
+			case "vcs.revision":
+				commit = st.Value
+			case "vcs.modified":
+				modified = st.Value
+			}
+		}
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return fmt.Sprintf("version=%q,commit=%q,modified=%q,go=%q",
+		esc.Replace(version), esc.Replace(commit), esc.Replace(modified), esc.Replace(goVersion))
+}
+
+// BundleResult is one session's outcome for POST /debug/bundle.
+type BundleResult struct {
+	Session string `json:"session"`
+	Path    string `json:"path,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleBundle seals a diagnostics bundle on demand for every attached
+// session with a flight recorder (or just ?session=<name>). Manual
+// seals bypass the trigger rate limit but still honor the per-session
+// bundle cap.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	want := r.URL.Query().Get("session")
+	matched := false
+	results := []BundleResult{}
+	for _, ses := range s.snapshot() {
+		if want != "" && ses.Name() != want {
+			continue
+		}
+		matched = true
+		rec := ses.Recorder()
+		if rec == nil {
+			continue
+		}
+		path, err := rec.SealNow(blackbox.TriggerManual, "POST /debug/bundle")
+		res := BundleResult{Session: ses.Name(), Path: path}
+		if err != nil {
+			res.Error = err.Error()
+		}
+		results = append(results, res)
+	}
+	switch {
+	case want != "" && !matched:
+		http.Error(w, fmt.Sprintf("no session named %q", want), http.StatusNotFound)
+		return
+	case len(results) == 0:
+		http.Error(w, "no attached session has a flight recorder", http.StatusNotFound)
+		return
+	}
+	body, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	send(w, http.StatusOK, "application/json", append(body, '\n'))
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {

@@ -3,6 +3,7 @@ package monitor
 import (
 	"sync"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/coordinator"
 	"csecg/internal/telemetry"
 )
@@ -24,6 +25,10 @@ type SessionConfig struct {
 	// half-window of margin past the paper's 2-second real-time budget
 	// plus the pipelined encode/transmit slot).
 	LatencyTargetNs int64
+	// Recorder is the stream's flight recorder (optional). The session
+	// wires SLO transitions into it, and an alert escalation to
+	// warning/critical seals a diagnostics bundle.
+	Recorder *blackbox.Recorder
 }
 
 // DefaultLatencyTargetNs is the default per-window latency objective.
@@ -64,12 +69,36 @@ func NewSession(cfg SessionConfig, sink interface{ Write([]byte) (int, error) })
 	if cfg.LatencyTargetNs == 0 {
 		cfg.LatencyTargetNs = DefaultLatencyTargetNs
 	}
-	return &Session{
+	s := &Session{
 		cfg:     cfg,
 		quality: NewSLO(cfg.QualitySLO, cfg.Name, cfg.Registry, sink),
 		latency: NewSLO(cfg.LatencySLO, cfg.Name, cfg.Registry, sink),
 	}
+	if rec := cfg.Recorder; rec != nil {
+		WireRecorder(s.quality, rec)
+		WireRecorder(s.latency, rec)
+	}
+	return s
 }
+
+// WireRecorder connects an SLO tracker to a flight recorder: every
+// alert transition is captured as a bundle event, and an escalation to
+// warning or critical seals a diagnostics bundle (rate-limited by the
+// recorder). Install before streaming starts.
+func WireRecorder(s *SLO, rec *blackbox.Recorder) {
+	s.SetHook(func(tr Transition, from, to AlertState) {
+		rec.RecordSLOTransition(tr.TimelineNs, tr.SLO, int64(from), int64(to))
+		// Escalations seal a bundle; recoveries only log the event.
+		if to > from && to >= AlertWarning {
+			rec.TriggerSeal(blackbox.TriggerSLO, tr.TimelineNs,
+				"slo "+tr.SLO+" "+tr.From+"->"+tr.To)
+		}
+	})
+}
+
+// Recorder returns the session's flight recorder (nil when none was
+// configured).
+func (s *Session) Recorder() *blackbox.Recorder { return s.cfg.Recorder }
 
 // Name returns the session's label.
 func (s *Session) Name() string { return s.cfg.Name }
@@ -168,9 +197,9 @@ type SessionStatus struct {
 func (s *Session) Snapshot() SessionStatus {
 	s.mu.Lock()
 	st := SessionStatus{
-		Name:       s.cfg.Name,
-		Finished:   s.finished,
-		Health:     s.slot.Health.String(),
+		Name:            s.cfg.Name,
+		Finished:        s.finished,
+		Health:          s.slot.Health.String(),
 		Windows:         s.windows,
 		BadWindows:      s.bad,
 		WorstEst:        s.worstEst,
@@ -178,11 +207,11 @@ func (s *Session) Snapshot() SessionStatus {
 		LastEst:         s.last.EstPRDN,
 		DegradedWindows: s.degraded,
 		LastRung:        s.last.Rung.String(),
-		Decoded:    s.slot.Decoded,
-		Abandoned:  s.slot.Abandoned,
-		Gaps:       s.slot.Gaps,
-		Recoveries: s.slot.Recoveries,
-		GapRate:    s.slot.GapRate,
+		Decoded:         s.slot.Decoded,
+		Abandoned:       s.slot.Abandoned,
+		Gaps:            s.slot.Gaps,
+		Recoveries:      s.slot.Recoveries,
+		GapRate:         s.slot.GapRate,
 	}
 	if s.windows > 0 {
 		st.MeanEstPRDN = s.sumEst / float64(s.windows)

@@ -101,6 +101,7 @@ type SLO struct {
 
 	sink    io.Writer // JSONL transition log (nil → none)
 	sinkErr error
+	hook    func(tr Transition, from, to AlertState)
 
 	stateGauge, burnGauge *telemetry.Gauge
 	transitions           *telemetry.Counter
@@ -124,6 +125,12 @@ func NewSLO(cfg SLOConfig, session string, reg *telemetry.Registry, sink io.Writ
 	}
 	return s
 }
+
+// SetHook installs a transition callback — the flight-recorder trigger
+// path. It runs outside the tracker mutex, after the transition is
+// committed, on the observing goroutine. Install before streaming
+// starts; the field is not synchronized against concurrent Observe.
+func (s *SLO) SetHook(fn func(tr Transition, from, to AlertState)) { s.hook = fn }
 
 // Observe records one window's outcome at the given modeled time and
 // re-evaluates the alert state. The transition sink write happens
@@ -163,6 +170,7 @@ func (s *SLO) Observe(timelineNs int64, violated bool) {
 		s.mu.Unlock()
 		return
 	}
+	from := s.state
 	tr := Transition{
 		TimelineNs: timelineNs,
 		Session:    s.session,
@@ -182,8 +190,12 @@ func (s *SLO) Observe(timelineNs int64, violated bool) {
 		s.transitions.Inc()
 	}
 	sink := s.sink
+	hook := s.hook
 	s.mu.Unlock()
 
+	if hook != nil {
+		hook(tr, from, next)
+	}
 	if sink == nil {
 		return
 	}

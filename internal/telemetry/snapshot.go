@@ -1,0 +1,68 @@
+package telemetry
+
+// Snapshot is a deterministic point-in-time copy of a registry — the
+// flight recorder embeds one in every diagnostics bundle so an incident
+// ships with the counters that led up to it. Series are sorted by name
+// (the registry never exposes raw map order), making two snapshots of
+// identical state byte-identical after JSON encoding.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's last value and high-water mark.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// HistogramSnapshot is one histogram's aggregate plus its non-empty
+// log-2 buckets (sparse: empty buckets are omitted).
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty log-2 bucket.
+type BucketSnapshot struct {
+	// Bucket is the log-2 bucket index (see BucketLow/BucketHigh).
+	Bucket int   `json:"bucket"`
+	Count  int64 `json:"count"`
+}
+
+// Snapshot copies the registry's current state. It allocates and takes
+// the registry mutex per name lookup — a host-side export operation,
+// never called from capture hotpaths.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, name := range r.CounterNames() {
+		//csecg:metricok enumerating already-registered names, not minting new series
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: r.Counter(name).Load()})
+	}
+	for _, name := range r.GaugeNames() {
+		g := r.Gauge(name) //csecg:metricok enumerating already-registered names, not minting new series
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Load(), Max: g.Max()})
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.Histogram(name) //csecg:metricok enumerating already-registered names, not minting new series
+		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum(), Max: h.Max()}
+		for b := 0; b < NumBuckets; b++ {
+			if n := h.Bucket(b); n != 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{Bucket: b, Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"csecg/internal/blackbox"
 	"csecg/internal/coordinator"
 	"csecg/internal/core"
 	"csecg/internal/energy"
@@ -65,6 +66,13 @@ type StreamConfig struct {
 	// status and per-slot transport health on the modeled timeline —
 	// the feed behind the monitor plane's /readyz and /sessions.
 	Observer monitor.Observer
+	// Recorder, when non-nil, is attached to the receive path as the
+	// session's black-box flight recorder: it rings recent frames and
+	// decode summaries and seals diagnostics bundles on anomaly
+	// triggers. RunStream fills in the session metadata a bundle needs
+	// for deterministic replay and points the recorder at the session
+	// registry.
+	Recorder *blackbox.Recorder
 }
 
 // StreamReport aggregates a session.
@@ -136,6 +144,9 @@ type StreamReport struct {
 	DecodeLatency telemetry.Summary
 	// SolverIterations is the per-window FISTA iteration distribution.
 	SolverIterations telemetry.Summary
+	// BundlesWritten counts the diagnostics bundles the session's
+	// flight recorder sealed (0 when no Recorder was configured).
+	BundlesWritten int
 }
 
 // Trace thread (track) IDs within a session's three processes.
@@ -221,6 +232,13 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	if cfg.Recorder != nil {
+		// Resolved params and mode, not the user's input: replay must
+		// rebuild exactly this decoder without re-deriving defaults.
+		cfg.Recorder.SetMeta(blackbox.NewSessionMeta("", dec.Params(), dec.Mode(), cfg.Transport))
+		cfg.Recorder.AttachRegistry(reg)
+		rx.SetRecorder(cfg.Recorder)
 	}
 	m.Instrument(reg)
 	lnk.Instrument(reg, "link")
@@ -581,6 +599,9 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 	rep.DecodeLatency = latHist.Summarize()
 	rep.SolverIterations = reg.Histogram("coordinator_iterations").Summarize()
+	if cfg.Recorder != nil {
+		rep.BundlesWritten = cfg.Recorder.BundlesWritten()
+	}
 
 	// Energy: compare against streaming the raw 12-bit samples. The
 	// downlink airtime already includes every retransmission the mote
