@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke bench perf perf-gate
+.PHONY: check vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke triage-smoke bench perf perf-gate
 
-check: vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke
+check: vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke triage-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,15 @@ replay-smoke:
 	$(GO) run ./cmd/csecg-bench -exp chaos -short -record-dir bundles-smoke
 	@ls bundles-smoke/*.jsonl >/dev/null 2>&1 || { echo "replay-smoke: chaos run sealed no bundles"; exit 1; }
 	$(GO) run ./cmd/csecg-replay -v bundles-smoke/*.jsonl
+
+# triage-smoke closes the latency-attribution loop: run the burst-loss
+# chaos matrix with causal span tracing, pipe the trace JSONL into
+# csecg-triage, and fail if any window's per-stage span durations
+# diverge from its end-to-end decode latency (DESIGN.md §14).
+triage-smoke:
+	rm -f traces-smoke.jsonl
+	$(GO) run ./cmd/csecg-bench -exp chaos -short -spans traces-smoke.jsonl
+	$(GO) run ./cmd/csecg-triage traces-smoke.jsonl
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

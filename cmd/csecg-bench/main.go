@@ -84,6 +84,7 @@ func run() int {
 		tolerance   = flag.Float64("tolerance", bench.DefaultTolerance, "allowed normalized-time growth before -compare fails")
 		short       = flag.Bool("short", false, "shrink long-running experiments (chaos) to CI-smoke size")
 		recordDir   = flag.String("record-dir", "", "attach a black-box flight recorder to chaos scenarios and seal diagnostics bundles into this directory")
+		spansFile   = flag.String("spans", "", "capture causal span trees during chaos scenarios and write them as trace JSONL to this file ('-' for stdout; csecg-triage input)")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -276,7 +277,7 @@ func run() int {
 			return r.Table(), nil
 		}},
 		{"chaos", func() (*experiments.Table, error) {
-			r, err := experiments.ChaosRecorded(*short, *recordDir)
+			r, err := experiments.ChaosTraced(*short, *recordDir, *spansFile != "")
 			if err != nil {
 				return nil, err
 			}
@@ -285,6 +286,23 @@ func run() int {
 					for _, b := range row.Bundles {
 						fmt.Printf("chaos %s: sealed %s\n", row.Report.Scenario, b)
 					}
+				}
+			}
+			if *spansFile != "" {
+				out := os.Stdout
+				if *spansFile != "-" {
+					f, err := os.Create(*spansFile)
+					if err != nil {
+						return nil, err
+					}
+					defer f.Close() //csecg:errok WriteTraces reports the write error
+					out = f
+				}
+				if err := r.WriteTraces(out); err != nil {
+					return nil, err
+				}
+				if *spansFile != "-" {
+					fmt.Printf("chaos: wrote %d span trees to %s\n", len(r.Traces), *spansFile)
 				}
 			}
 			if fails := r.Failures(); len(fails) > 0 {

@@ -55,6 +55,8 @@ func main() {
 		recovery  = flag.Float64("burst-recovery", 0.4, "Gilbert–Elliott bad→good transition probability")
 		nack      = flag.Bool("nack", false, "enable the NACK control channel and retransmission")
 		sloEvents = flag.String("slo-events", "", "append SLO alert transitions as JSONL to this file ('-' for stdout)")
+		spansOut  = flag.String("spans-out", "", "write the retained causal span trees of every session as trace JSONL to this file (csecg-triage input)")
+		noSpans   = flag.Bool("no-spans", false, "disable causal span tracing (drops trace IDs from /sessions and the stage-seconds exemplars from /metrics)")
 		recordDir = flag.String("record-dir", "", "attach a black-box flight recorder per session and seal diagnostics bundles into this directory (also enables POST /debug/bundle)")
 		once      = flag.Bool("once", false, "exit after every session finishes instead of serving forever")
 	)
@@ -76,6 +78,7 @@ func main() {
 	srv := monitor.NewServer(nil)
 	var wg sync.WaitGroup
 	var run []func()
+	var tracers []*csecg.SpanTracer
 	for _, rec := range strings.Split(*records, ",") {
 		rec = strings.TrimSpace(rec)
 		if rec == "" {
@@ -89,10 +92,16 @@ func main() {
 				Sink:    csecg.BundleDirSink(*recordDir),
 			})
 		}
+		var spans *csecg.SpanTracer
+		if !*noSpans {
+			spans = csecg.NewSpanTracer(csecg.SpanTracerConfig{Label: "record " + rec})
+			tracers = append(tracers, spans)
+		}
 		ses := monitor.NewSession(monitor.SessionConfig{
 			Name:     "record " + rec,
 			Registry: reg,
 			Recorder: recorder,
+			Spans:    spans,
 		}, sink)
 		srv.Attach(ses)
 		wg.Add(1)
@@ -114,6 +123,7 @@ func main() {
 				Metrics:   reg,
 				Observer:  ses,
 				Recorder:  recorder,
+				Spans:     spans,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "csecg-monitor: record %s: %v\n", recID, err)
@@ -145,6 +155,23 @@ func main() {
 		go r()
 	}
 	wg.Wait()
+	if *spansOut != "" {
+		var recs []csecg.SpanTraceRecord
+		for _, t := range tracers {
+			recs = append(recs, t.Records()...)
+		}
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := csecg.WriteSpanTraceJSONL(f, recs); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d retained span trees to %s\n", len(recs), *spansOut)
+	}
 	if !*once {
 		fmt.Println("all sessions finished; serving final state (ctrl-c to exit)")
 		if err := <-serveErr; err != nil && err != http.ErrServerClosed {

@@ -1,0 +1,128 @@
+// Command csecg-triage ingests causal span traces (the JSONL written
+// by csecg-bench -spans or csecg-monitor -spans-out) or a sealed
+// diagnostics bundle and emits a critical-path latency report:
+// per-stage p50/p95/p99 contribution to window decode latency,
+// dominant-stage ranking per degradation rung, and a one-line verdict
+// such as "p99 dominated by solver stage fista/2 under rung 1".
+//
+// Every trace is held to the tiling contract — its depth-1 span
+// durations must sum to the recorded end-to-end latency within the
+// tolerance — so the attribution can be trusted, or the tool says it
+// can't.
+//
+// Usage:
+//
+//	csecg-triage traces.jsonl
+//	csecg-triage -json -max-divergence 0.02 traces.jsonl
+//	csecg-triage bundle.csecg.jsonl      # decode-side report
+//	csecg-bench -exp chaos -short -spans - | csecg-triage -
+//
+// Exit status: 0 clean attribution, 1 tiling divergence (attribution
+// suspect), 2 usage or input errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"csecg/internal/blackbox"
+	"csecg/internal/telemetry"
+	"csecg/internal/triage"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the report as JSON instead of text")
+		maxDiv  = flag.Float64("max-divergence", triage.DefaultMaxDivergence,
+			"allowed relative gap between a trace's span sum and its end-to-end latency")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: csecg-triage [flags] <traces.jsonl | bundle.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	path := flag.Arg(0)
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	rep, err := analyze(data, triage.Options{MaxDivergence: *maxDiv})
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Print(rep.Render())
+	}
+	if !rep.Clean {
+		os.Exit(1)
+	}
+}
+
+// analyze sniffs the input format: a diagnostics bundle opens with a
+// {"type":"header",...} line; anything else is trace JSONL.
+func analyze(data []byte, opts triage.Options) (*triage.Report, error) {
+	first := firstLine(data)
+	var disc struct {
+		Type string `json:"type"`
+	}
+	if len(first) > 0 && json.Unmarshal(first, &disc) == nil && disc.Type == "header" {
+		b, err := blackbox.ParseBundle(data)
+		if err != nil {
+			return nil, fmt.Errorf("parsing bundle: %w", err)
+		}
+		return triage.AnalyzeBundle(b), nil
+	}
+	traces, err := telemetry.ReadTraceRecords(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("parsing traces: %w", err)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("input holds no trace records")
+	}
+	return triage.Analyze(traces, opts), nil
+}
+
+// firstLine returns the first non-empty line of the input.
+func firstLine(data []byte) []byte {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		var line []byte
+		if i < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:i], data[i+1:]
+		}
+		if line = bytes.TrimSpace(line); len(line) > 0 {
+			return line
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "csecg-triage: %v\n", err)
+	os.Exit(2)
+}

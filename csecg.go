@@ -276,6 +276,35 @@ func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJS
 // order (sample … reconstruct), the keys of StreamReport.Stages.
 func PipelineStages() []string { return telemetry.Stages() }
 
+// Causal span tracing: hierarchical per-window span trees with tail
+// sampling and critical-path attribution (DESIGN.md §14).
+type (
+	// SpanTracer captures one session's causal window span trees;
+	// attach via StreamConfig.Spans and feed the retained trees to
+	// csecg-triage (SpanTraceRecord JSONL).
+	SpanTracer = telemetry.CausalTracer
+	// SpanTracerConfig sizes a SpanTracer.
+	SpanTracerConfig = telemetry.CausalConfig
+	// SpanTraceRecord is one window's span tree in the JSONL trace
+	// interchange format.
+	SpanTraceRecord = telemetry.TraceRecord
+)
+
+// NewSpanTracer builds a causal span tracer (every buffer preallocated;
+// capture is zero-alloc).
+func NewSpanTracer(cfg SpanTracerConfig) *SpanTracer { return telemetry.NewCausalTracer(cfg) }
+
+// WriteSpanTraceJSONL writes span-tree records one JSON object per line
+// — the csecg-triage input format.
+func WriteSpanTraceJSONL(w io.Writer, recs []SpanTraceRecord) error {
+	return telemetry.WriteTraceRecords(w, recs)
+}
+
+// ReadSpanTraceJSONL parses a span-tree JSONL stream.
+func ReadSpanTraceJSONL(r io.Reader) ([]SpanTraceRecord, error) {
+	return telemetry.ReadTraceRecords(r)
+}
+
 // Incident forensics: the black-box flight recorder, its sealed
 // diagnostics bundles, and the deterministic replay harness.
 type (

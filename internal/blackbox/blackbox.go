@@ -319,6 +319,7 @@ func (r *Recorder) RecordWindow(w coordinator.WindowCapture) {
 		EstPRDN:         w.EstPRDN,
 		Bad:             w.Bad,
 		ModeledNs:       w.ModeledNs,
+		Trace:           w.Trace,
 	}
 	r.wLen++
 	r.capturedWindows++

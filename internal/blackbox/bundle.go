@@ -66,6 +66,14 @@ type SessionMeta struct {
 	// refuses to diff rather than reporting false divergence.
 	Reproducible         bool   `json:"reproducible"`
 	UnreproducibleReason string `json:"unreproducible_reason,omitempty"`
+
+	// TraceSeed is the session's causal trace-ID seed
+	// (telemetry.TraceSeed of the session label; 0 → untraced). Replay
+	// installs it on the rebuilt receiver so replayed window records
+	// reproduce the recorded trace IDs bit-for-bit. Added in-place
+	// within bundle version 1: readers ignore the unknown field, absent
+	// fields decode as 0.
+	TraceSeed uint64 `json:"trace_seed,omitempty"`
 }
 
 // NewSessionMeta captures replayable session metadata. p must be the
@@ -192,6 +200,11 @@ type WindowRecord struct {
 	EstPRDN         float64 `json:"est_prdn"`
 	Bad             bool    `json:"bad,omitempty"`
 	ModeledNs       int64   `json:"modeled_ns"`
+	// Trace is the window's causal trace ID (0 when the session streamed
+	// untraced); telemetry.TraceIDString renders the 16-hex-digit form
+	// /sessions and the stage-seconds exemplars use. Kept numeric so the
+	// hotpath capture ring stores it without formatting.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // EventRecord is one health/SLO/failure/trigger event.

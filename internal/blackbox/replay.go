@@ -154,6 +154,9 @@ func Replay(b *Bundle) (*ReplayReport, error) {
 		sd.fail = recordedFailures(b.Events)
 	}
 	rx := coordinator.NewReceiver(sd, h.Meta.Transport())
+	// Reinstall the session's trace seed so replayed window records
+	// reproduce the recorded causal trace IDs bit-for-bit.
+	rx.SetTraceSeed(h.Meta.TraceSeed)
 
 	// The replay records itself with a mirror recorder — the diff is
 	// record-vs-record, field for field.
@@ -314,5 +317,8 @@ func diffWindow(rep *ReplayReport, w, g WindowRecord, full bool) {
 	eqB("bad", w.Bad, g.Bad)
 	if w.ModeledNs != g.ModeledNs {
 		miss("modeled_ns", strconv.FormatInt(w.ModeledNs, 10), strconv.FormatInt(g.ModeledNs, 10))
+	}
+	if w.Trace != g.Trace {
+		miss("trace", strconv.FormatUint(w.Trace, 10), strconv.FormatUint(g.Trace, 10))
 	}
 }

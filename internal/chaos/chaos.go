@@ -24,6 +24,7 @@ import (
 	"csecg/internal/monitor"
 	"csecg/internal/mote"
 	"csecg/internal/rng"
+	"csecg/internal/telemetry"
 )
 
 // Scenario is one fault cocktail over a synthetic monitoring session.
@@ -86,6 +87,15 @@ type Scenario struct {
 	// wiring tighten the objective until fault-induced quality erosion —
 	// the gap-rate margin on the PRDN estimate — registers as burn.
 	QualityBadPRDN float64
+
+	// Spans, when non-nil, captures each decoded window's causal span
+	// tree on the harness's slot-granular modeled timeline: link-transit
+	// (acquisition end → delivery slot), queue-wait (slots a bounded
+	// decode budget deferred the window), the solver rung and
+	// reconstruction. The harness has no decode-core serialization, so
+	// queue-wait reflects only the DecodesPerSlot deferral — attribution
+	// under a solver slowdown names the solver, truthfully.
+	Spans *telemetry.CausalTracer
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -258,6 +268,16 @@ func Run(sc Scenario) (*Report, error) {
 	}
 	rx := coordinator.NewReceiver(pd, tcfg)
 
+	spans := sc.Spans
+	if spans != nil {
+		rx.SetTraceSeed(spans.Seed())
+		rx.SetShedHook(func(seq uint32) {
+			if wt := spans.Lookup(seq); wt != nil {
+				spans.FinishDropped(wt, telemetry.FlagShed)
+			}
+		})
+	}
+
 	var rec *blackbox.Recorder
 	var slo *monitor.SLO
 	if sc.Record != nil {
@@ -287,6 +307,16 @@ func Run(sc Scenario) (*Report, error) {
 	slow.NEONCyclesPerMAC *= sc.Slowdown
 	slowFrom, slowTo := sc.Windows/3, 2*sc.Windows/3
 
+	// Span-tree timeline model: modelNow is the slot-granular modeled
+	// time of the deliver pass currently scoring; planArrive maps each
+	// sequence to its scheduled delivery-slot end. The harness has no
+	// per-frame clock, so leaves tile [acquisition end, decode end) at
+	// slot granularity and the recorded latency is their sum.
+	reconstructNs := int64(coordinator.DefaultCosts().IterationTime(dec.Params(), coordinator.VFP))
+	var modelNow int64
+	planArrive := map[uint32]int64{}
+	lastRung := coordinator.RungNominal
+
 	var decodeNs []int64
 	score := func(out []coordinator.Decoded) {
 		for _, d := range out {
@@ -297,6 +327,42 @@ func Run(sc Scenario) (*Report, error) {
 			}
 			if d.Res.Rung > rep.MaxRung {
 				rep.MaxRung = d.Res.Rung
+			}
+			if spans != nil {
+				if wt := spans.Lookup(d.Seq); wt != nil {
+					acqEnd := wt.FrontierNs()
+					arrive := planArrive[d.Seq]
+					if arrive < acqEnd {
+						arrive = acqEnd
+					}
+					decodeAt := modelNow
+					if decodeAt < arrive {
+						decodeAt = arrive
+					}
+					wt.Leaf(telemetry.StageLinkTransit, acqEnd, arrive-acqEnd)
+					if decodeAt > arrive {
+						wt.Leaf(telemetry.StageQueueWait, arrive, decodeAt-arrive)
+					}
+					fistaNs := int64(d.Res.ModeledTime)
+					wt.SolverLeaf(d.Res.Rung.SolverStage(), decodeAt, fistaNs, int(d.Res.Rung))
+					wt.Leaf(telemetry.StageReconstruct, decodeAt+fistaNs, reconstructNs)
+					if d.Res.Rung != lastRung {
+						wt.MarkRungChange(decodeAt, int(d.Res.Rung))
+					}
+					var flags uint32
+					if d.Bad {
+						flags |= telemetry.FlagBad
+					}
+					if d.Res.Degraded {
+						flags |= telemetry.FlagDegraded
+					}
+					if d.Res.DeadlineExpired {
+						flags |= telemetry.FlagDeadline
+					}
+					wt.Mark(flags)
+					spans.Finish(wt, int(d.Res.Rung), wt.LeafSumNs())
+				}
+				lastRung = d.Res.Rung
 			}
 			if slo != nil {
 				bad := d.Bad
@@ -332,6 +398,14 @@ func Run(sc Scenario) (*Report, error) {
 			return fmt.Errorf("chaos %s: encoding window %d: %w", sc.Name, w, err)
 		}
 		rep.Windows++
+		if spans != nil {
+			// Acquisition of the k-th encoded window (drift slips
+			// included) ends at k·T; delivery lands at the end of the
+			// next batch slot.
+			wt := spans.Begin(mr.Packet.Seq)
+			wt.Root(int64(rep.Windows) * int64(windowNs))
+			planArrive[mr.Packet.Seq] = int64((w+burstEvery)/burstEvery*burstEvery) * int64(windowNs)
+		}
 		blob, err := mr.Packet.Marshal()
 		if err != nil {
 			return err
@@ -378,10 +452,12 @@ func Run(sc Scenario) (*Report, error) {
 			}
 		}
 		if (w+1)%burstEvery == 0 {
+			modelNow = int64(w+1) * int64(windowNs)
 			deliver()
 		}
 	}
 	// Session end: flush the reorder model, deliver stragglers, close.
+	modelNow = int64(sc.Windows) * int64(windowNs)
 	pending = append(pending, lnk.Flush()...)
 	deliver()
 	safely(func() { score(rx.Close()) })

@@ -1,6 +1,9 @@
 package coordinator
 
-import "csecg/internal/solver"
+import (
+	"csecg/internal/solver"
+	"csecg/internal/telemetry"
+)
 
 // Rung indexes the coordinator's degradation ladder. Under deadline
 // pressure the decoder walks down — trading reconstruction quality for
@@ -42,6 +45,33 @@ func (r Rung) String() string {
 	return "unknown"
 }
 
+// SolverStage names the rung's solver configuration as
+// algorithm/iter-divisor ("fista/1", "fista/2", "gpsr/2", "gpsr/4") —
+// the depth-1 solver-leaf stage of the causal span trace
+// (telemetry.SolverStage*; a test pins the two lists together). The
+// strings are constants, so hotpath span capture never allocates.
+//
+//csecg:hotpath
+func (r Rung) SolverStage() string {
+	switch r {
+	case RungReducedIter:
+		return telemetry.SolverStageFISTA2
+	case RungGPSR:
+		return telemetry.SolverStageGPSR2
+	case RungBestEffort:
+		return telemetry.SolverStageGPSR4
+	}
+	return telemetry.SolverStageFISTA1
+}
+
+// Algorithm returns the sparse-recovery algorithm the rung runs.
+func (r Rung) Algorithm() solver.Algorithm {
+	if r < 0 || r >= numRungs {
+		return solver.AlgoFISTA
+	}
+	return rungSettings[r].algo
+}
+
 // rungSetting is one rung's solver configuration: the algorithm and the
 // divisor applied to the nominal iteration budget.
 type rungSetting struct {
@@ -71,7 +101,7 @@ const (
 // leaves RungNominal — it engages only when SetCosts models a slowed
 // CPU (thermal throttling, contention, the chaos harness).
 type ladder struct {
-	rung                 Rung
+	rung                  Rung
 	missStreak, hitStreak int
 }
 

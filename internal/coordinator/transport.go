@@ -212,6 +212,11 @@ type WindowCapture struct {
 	EstPRDN      float64
 	Bad          bool
 	ModeledNs    int64
+	// Trace is the window's causal trace ID (0 when the session streams
+	// untraced), derived deterministically from the session's trace seed
+	// and Seq — the link between a sealed bundle's window records, the
+	// stage-seconds exemplars and a retained span tree.
+	Trace uint64
 }
 
 // FlightRecorder taps the receive path for the black-box flight
@@ -279,6 +284,10 @@ type Receiver struct {
 	rec      FlightRecorder
 	ordinal  int64
 	panicked bool
+	// traceSeed derives per-window causal trace IDs for WindowCapture
+	// (0 → untraced); shedHook, when set, observes admission-queue sheds.
+	traceSeed uint64
+	shedHook  func(seq uint32)
 
 	stats TransportStats
 	met   *transportMetrics
@@ -352,6 +361,19 @@ func (r *Receiver) Instrument(reg *telemetry.Registry) {
 // detaches). Attach before the first Push so the recorded frame stream
 // is complete from the session start.
 func (r *Receiver) SetRecorder(rec FlightRecorder) { r.rec = rec }
+
+// SetTraceSeed installs the session's causal trace-ID seed
+// (telemetry.TraceSeed of the session label): every released window's
+// WindowCapture.Trace becomes telemetry.DeriveTraceID(seed, seq), the
+// same ID the span tracer, monitor and replay harness compute. Zero
+// disables trace stamping.
+func (r *Receiver) SetTraceSeed(seed uint64) { r.traceSeed = seed }
+
+// SetShedHook installs an observer for admission-queue sheds, called
+// with the shed window's sequence number before the packet is dropped —
+// the span tracer retains the partial trace of a window that will never
+// decode. Install before streaming starts.
+func (r *Receiver) SetShedHook(hook func(seq uint32)) { r.shedHook = hook }
 
 // ResumeAt positions a fresh receiver mid-stream for bundle replay: the
 // next expected sequence number and the slot-grid origin of a bundle
@@ -552,6 +574,15 @@ func (r *Receiver) drain() []Decoded {
 	return out
 }
 
+// traceID stamps a released window with its causal trace ID (0 when
+// the session streams untraced).
+func (r *Receiver) traceID(seq uint32) uint64 {
+	if r.traceSeed == 0 {
+		return 0
+	}
+	return telemetry.DeriveTraceID(r.traceSeed, seq)
+}
+
 // admit appends one in-order window to the admission queue. When the
 // queue is full, the oldest non-key window is shed first: key frames
 // are resync points, and the freshest windows are the ones the display
@@ -567,6 +598,9 @@ func (r *Receiver) admit(pkt *core.Packet) {
 		}
 		if drop < 0 {
 			drop = 0
+		}
+		if r.shedHook != nil {
+			r.shedHook(r.queue[drop].Seq)
 		}
 		r.queue = append(r.queue[:drop], r.queue[drop+1:]...)
 		r.stats.Shed++
@@ -637,6 +671,7 @@ func (r *Receiver) pump() []Decoded {
 				EstPRDN:         d.EstPRDN,
 				Bad:             d.Bad,
 				ModeledNs:       int64(res.ModeledTime),
+				Trace:           r.traceID(pkt.Seq),
 			})
 		}
 		out = append(out, d)

@@ -77,6 +77,11 @@ type DecodeResult[T linalg.Float] struct {
 	// delta packet (0 for key frames): out-of-codebook jumps that track
 	// signal nonstationarity on the mote.
 	EscapeCount int
+	// StageIters holds the per-stage iteration counts when the solve ran
+	// FISTA continuation (cold starts); nil for warm-started or
+	// non-FISTA solves. The causal span trace splits the solver leaf
+	// into sub-stage spans proportionally to these counts.
+	StageIters []int
 }
 
 // NewDecoder builds a decoder for the given parameters.
@@ -205,6 +210,7 @@ func (d *Decoder[T]) DecodePacket(pkt *Packet) (*DecodeResult[T], error) {
 		Resynced:        resynced,
 		ResidualNorm:    residualNorm,
 		EscapeCount:     d.lastEscapes,
+		StageIters:      res.StageIters,
 	}, nil
 }
 

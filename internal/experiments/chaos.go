@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"csecg/internal/blackbox"
 	"csecg/internal/chaos"
+	"csecg/internal/telemetry"
 )
 
 // ChaosRow is one scenario's survival outcome.
@@ -26,6 +28,9 @@ type ChaosRow struct {
 type ChaosResult struct {
 	Short bool
 	Rows  []ChaosRow
+	// Traces holds every scenario's retained causal span trees (only
+	// when tracing was requested) — csecg-triage's input.
+	Traces []telemetry.TraceRecord
 }
 
 // Failures lists the scenarios that broke the survival contract.
@@ -52,10 +57,27 @@ func Chaos(short bool) (*ChaosResult, error) { return ChaosRecorded(short, "") }
 // scenarios that triggered nothing seal one end-of-run bundle anyway —
 // so a chaos run always leaves replayable evidence behind.
 func ChaosRecorded(short bool, recordDir string) (*ChaosResult, error) {
+	return ChaosTraced(short, recordDir, false)
+}
+
+// ChaosTraced is ChaosRecorded with causal span tracing: every scenario
+// runs with a CausalTracer retaining all finished trees, and the
+// result carries the combined trace records for csecg-triage — the
+// pipeline behind `make triage-smoke`.
+func ChaosTraced(short bool, recordDir string, traced bool) (*ChaosResult, error) {
 	res := &ChaosResult{Short: short}
 	for _, sc := range chaos.Matrix(short) {
 		if recordDir != "" {
 			sc.Record = &blackbox.Config{Sink: blackbox.DirSink(recordDir)}
+		}
+		var spans *telemetry.CausalTracer
+		if traced {
+			spans = telemetry.NewCausalTracer(telemetry.CausalConfig{
+				Label:           "chaos " + sc.Name,
+				RetainAnomalous: 512,
+				RetainAll:       true,
+			})
+			sc.Spans = spans
 		}
 		rep, err := chaos.Run(sc)
 		if err != nil {
@@ -83,9 +105,17 @@ func ChaosRecorded(short bool, recordDir string) (*ChaosResult, error) {
 				return nil, fmt.Errorf("experiments: chaos scenario %s: sealing bundle: %w", sc.Name, err)
 			}
 		}
+		if spans != nil {
+			res.Traces = append(res.Traces, spans.Records()...)
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// WriteTraces writes the run's combined span trees as trace JSONL.
+func (r *ChaosResult) WriteTraces(w io.Writer) error {
+	return telemetry.WriteTraceRecords(w, r.Traces)
 }
 
 // Table renders the matrix.

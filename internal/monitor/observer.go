@@ -38,6 +38,10 @@ type WindowStatus struct {
 	LatencyNs int64
 	// TimelineNs is the modeled session time of the update.
 	TimelineNs int64
+	// TraceID is the window's causal trace ID (0 when span tracing is
+	// off) — the join key into the span tracer's retained trees, the
+	// stage-seconds exemplars and sealed diagnostics bundles.
+	TraceID uint64
 }
 
 // SlotStatus is the per-window-period transport snapshot, pushed once

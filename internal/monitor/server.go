@@ -144,6 +144,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		if sp := ses.Spans(); sp != nil {
+			// Per-stage latency contribution with trace-ID exemplars —
+			// the scrape-side entry point of the latency-triage loop.
+			if err := sp.WriteStageSeconds(&b,
+				telemetry.Label{Key: "session", Value: ses.Name()}); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
 	}
 	send(w, http.StatusOK, "text/plain; version=0.0.4; charset=utf-8", b.Bytes())
 }

@@ -29,6 +29,12 @@ type SessionConfig struct {
 	// wires SLO transitions into it, and an alert escalation to
 	// warning/critical seals a diagnostics bundle.
 	Recorder *blackbox.Recorder
+	// Spans is the stream's causal span tracer (optional) — the same
+	// one passed to RunStream via StreamConfig.Spans. The server renders
+	// its csecg_window_stage_seconds exemplar histograms on /metrics,
+	// and /sessions links the worst-latency and last-bad windows to
+	// their trace IDs.
+	Spans *telemetry.CausalTracer
 }
 
 // DefaultLatencyTargetNs is the default per-window latency objective.
@@ -49,6 +55,12 @@ type Session struct {
 	last         WindowStatus
 	slot         SlotStatus
 	finished     bool
+
+	// Trace links for /sessions: the worst-latency window seen so far
+	// and the most recent bad/degraded window (0 when tracing is off).
+	worstLatencyNs    int64
+	worstLatencyTrace uint64
+	lastBadTrace      uint64
 
 	quality, latency *SLO
 }
@@ -106,6 +118,10 @@ func (s *Session) Name() string { return s.cfg.Name }
 // Registry returns the session's telemetry registry for scraping.
 func (s *Session) Registry() *telemetry.Registry { return s.cfg.Registry }
 
+// Spans returns the session's causal span tracer (nil when span tracing
+// was not configured).
+func (s *Session) Spans() *telemetry.CausalTracer { return s.cfg.Spans }
+
 // OnWindow implements Observer: one decoded window's status.
 func (s *Session) OnWindow(w WindowStatus) {
 	s.mu.Lock()
@@ -119,6 +135,13 @@ func (s *Session) OnWindow(w WindowStatus) {
 	s.sumEst += w.EstPRDN
 	if w.EstPRDN > s.worstEst {
 		s.worstEst = w.EstPRDN
+	}
+	if w.LatencyNs > s.worstLatencyNs || s.windows == 1 {
+		s.worstLatencyNs = w.LatencyNs
+		s.worstLatencyTrace = w.TraceID
+	}
+	if w.Bad || w.Degraded {
+		s.lastBadTrace = w.TraceID
 	}
 	s.last = w
 	s.mu.Unlock()
@@ -189,6 +212,13 @@ type SessionStatus struct {
 
 	Latency LatencyQuantiles `json:"latency"`
 
+	// WorstLatencyTraceID and LastBadTraceID are hex causal trace IDs
+	// linking the session's worst-latency window and its most recent
+	// bad/degraded window into the span tracer's retained trees and the
+	// flight recorder's bundles (empty when span tracing is off).
+	WorstLatencyTraceID string `json:"worst_latency_trace_id,omitempty"`
+	LastBadTraceID      string `json:"last_bad_trace_id,omitempty"`
+
 	QualitySLO Status `json:"quality_slo"`
 	LatencySLO Status `json:"latency_slo"`
 }
@@ -212,6 +242,9 @@ func (s *Session) Snapshot() SessionStatus {
 		Gaps:            s.slot.Gaps,
 		Recoveries:      s.slot.Recoveries,
 		GapRate:         s.slot.GapRate,
+
+		WorstLatencyTraceID: telemetry.TraceIDString(s.worstLatencyTrace),
+		LastBadTraceID:      telemetry.TraceIDString(s.lastBadTrace),
 	}
 	if s.windows > 0 {
 		st.MeanEstPRDN = s.sumEst / float64(s.windows)

@@ -1,0 +1,100 @@
+package monitor_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csecg"
+	"csecg/internal/monitor"
+	"csecg/internal/telemetry"
+)
+
+// TestSessionsExposeTraceIDs pins the triage jump-off points: after a
+// lossy traced session, /sessions carries the trace IDs of the
+// session's worst-latency and last-bad windows, and /metrics serves the
+// per-stage histograms with trace exemplars — metric → trace ID →
+// csecg-triage.
+func TestSessionsExposeTraceIDs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	spans := csecg.NewSpanTracer(csecg.SpanTracerConfig{Label: "rec 100"})
+	ses := monitor.NewSession(monitor.SessionConfig{
+		Name:     "rec 100",
+		Registry: reg,
+		Spans:    spans,
+	}, nil)
+	srv := monitor.NewServer(nil)
+	srv.Attach(ses)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lnk := csecg.DefaultLinkConfig()
+	lnk.Burst = &csecg.BurstConfig{PGoodBad: 0.08, PBadGood: 0.4}
+	lnk.Seed = 0xC0FFEE
+	rep, err := csecg.RunStream(csecg.StreamConfig{
+		RecordID:  "100",
+		Seconds:   30,
+		Params:    csecg.Params{Seed: 0x601, M: csecg.MForCR(50, csecg.WindowSize)},
+		Link:      lnk,
+		Transport: csecg.TransportConfig{NACK: true},
+		Metrics:   reg,
+		Observer:  ses,
+		Spans:     spans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses.Finish()
+	if rep.Transport.Gaps == 0 {
+		t.Fatal("burst channel produced no gaps")
+	}
+
+	res, err := ts.Client().Get(ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var statuses []monitor.SessionStatus
+	if err := json.NewDecoder(res.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 {
+		t.Fatalf("/sessions has %d entries, want 1", len(statuses))
+	}
+	st := statuses[0]
+	if len(st.WorstLatencyTraceID) != 16 {
+		t.Errorf("worst-latency trace ID %q, want 16 hex digits", st.WorstLatencyTraceID)
+	}
+	// The worst-latency ID must be derivable from the session's seed —
+	// i.e. it names a real window of this session.
+	found := false
+	for _, w := range spans.Retained() {
+		if telemetry.TraceIDString(w.TraceID) == st.WorstLatencyTraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("worst-latency trace %s not among the retained trees", st.WorstLatencyTraceID)
+	}
+
+	mres, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	raw, err := io.ReadAll(mres.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		telemetry.StageSecondsMetric + `_bucket{session="rec 100",stage="`,
+		`# {trace_id="`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -42,6 +42,7 @@ func FISTAContinuation[T linalg.Float](a linalg.Op[T], y []T, opt Options[T], st
 	lam := lam0
 	var x0 []T
 	total := 0
+	stageIters := make([]int, 0, stages)
 	var last Result[T]
 	for s := 0; s < stages; s++ {
 		if s == stages-1 {
@@ -57,6 +58,7 @@ func FISTAContinuation[T linalg.Float](a linalg.Op[T], y []T, opt Options[T], st
 			return Result[T]{}, err
 		}
 		total += last.Iterations
+		stageIters = append(stageIters, last.Iterations)
 		x0 = last.X
 		if last.DeadlineExpired {
 			// Budget exhausted mid-path: the stage iterate is the best
@@ -67,5 +69,6 @@ func FISTAContinuation[T linalg.Float](a linalg.Op[T], y []T, opt Options[T], st
 		lam *= factor
 	}
 	last.Iterations = total
+	last.StageIters = stageIters
 	return last, nil
 }

@@ -106,6 +106,11 @@ type Result[T linalg.Float] struct {
 	Objective T
 	// Lambda and Lipschitz echo the values used (after defaulting).
 	Lambda, Lipschitz T
+	// StageIters holds the per-stage iteration counts of a continuation
+	// run (FISTAContinuation); nil for single-stage solves. The causal
+	// span trace splits the solver leaf into sub-stage spans
+	// proportionally to these counts.
+	StageIters []int
 }
 
 // FISTA minimizes F(α) = ‖Aα−y‖₂² + λ‖α‖₁ with the fast iterative

@@ -39,6 +39,14 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		if e.Phase == PhaseInstant {
 			b.WriteString(",\"s\":\"t\"")
 		}
+		// Flow phases bind start/step/end by id; a flow-end further binds
+		// to the enclosing slice so the arrow lands on the decode span.
+		if e.ID != 0 {
+			fmt.Fprintf(&b, ",\"id\":\"%x\"", uint64(e.ID))
+		}
+		if e.Phase == PhaseFlowEnd {
+			b.WriteString(",\"bp\":\"e\"")
+		}
 		fmt.Fprintf(&b, ",\"pid\":%d,\"tid\":%d", e.PID, e.TID)
 		if len(e.Args) > 0 {
 			b.WriteString(",\"args\":{")

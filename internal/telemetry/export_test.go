@@ -29,6 +29,17 @@ func fixtureTrace() *Tracer {
 	end := tr.Begin(s.Coordinator, 3, StageFISTA, CatWindow)
 	clk.Advance(343_000_000)
 	end(I("iterations", 211), S("mode", "neon"))
+	// Nested B/E pairs (continuation sub-stages inside the solve) and a
+	// flow arrow stitching the window across process boundaries.
+	tr.BeginSpan(s.Coordinator, 3, SolverStageFISTA2, CatWindow, 2_500_000_000, I("seq", 0))
+	tr.BeginSpan(s.Coordinator, 3, "stage/0", CatWindow, 2_500_000_000)
+	tr.EndSpan(s.Coordinator, 3, "stage/0", CatWindow, 2_651_500_000)
+	tr.BeginSpan(s.Coordinator, 3, "stage/1", CatWindow, 2_651_500_000)
+	tr.EndSpan(s.Coordinator, 3, "stage/1", CatWindow, 2_843_000_000)
+	tr.EndSpan(s.Coordinator, 3, SolverStageFISTA2, CatWindow, 2_843_000_000)
+	tr.FlowStart(s.Link, 1, FlowWindow, CatWindow, 2_000_517_250, 0x1234abcd)
+	tr.FlowStep(s.Coordinator, 1, FlowWindow, CatWindow, 2_019_806_138, 0x1234abcd)
+	tr.FlowEnd(s.Coordinator, 3, FlowWindow, CatWindow, 2_500_000_000, 0x1234abcd)
 	return tr
 }
 
@@ -79,6 +90,36 @@ func TestWriteChromeTraceShape(t *testing.T) {
 	// Spans carry dur; instants must not.
 	if strings.Contains(out, `"ph":"i","ts":2010000.000,"dur"`) {
 		t.Error("instant event must not carry a duration")
+	}
+}
+
+func TestWriteChromeTraceNestedAndFlow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTrace().Events()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		`"ph":"B"`, `"ph":"E"`,
+		`"ph":"s"`, `"ph":"t"`, `"ph":"f"`,
+		`"id":"1234abcd"`,
+		`"bp":"e"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace output missing %s", frag)
+		}
+	}
+	// B/E events must not carry a duration, and every B must have a
+	// matching E so the nesting closes.
+	if strings.Contains(out, `"ph":"B","ts":2500000.000,"dur"`) {
+		t.Error("begin event must not carry a duration")
+	}
+	if b, e := strings.Count(out, `"ph":"B"`), strings.Count(out, `"ph":"E"`); b != e {
+		t.Errorf("unbalanced nesting: %d B events vs %d E events", b, e)
+	}
+	// The flow arrow's end binds to its enclosing slice.
+	if !strings.Contains(out, `"ph":"f","ts":2500000.000,"id":"1234abcd","bp":"e"`) {
+		t.Error("flow end must bind to the enclosing slice with bp:e")
 	}
 }
 

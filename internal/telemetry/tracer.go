@@ -15,6 +15,18 @@ const (
 	PhaseCounter = byte('C')
 	// PhaseMeta is a metadata record such as a process name ("M").
 	PhaseMeta = byte('M')
+	// PhaseBegin and PhaseEnd open and close a nested span ("B"/"E");
+	// pairs must nest properly per thread track. The causal span trees
+	// render through these so chrome://tracing shows the hierarchy.
+	PhaseBegin = byte('B')
+	PhaseEnd   = byte('E')
+	// PhaseFlowStart/Step/End ("s"/"t"/"f") draw a flow arrow across
+	// thread and process boundaries — the window's causal chain from
+	// mote transmit through link arrival to coordinator decode. Events
+	// of one flow share Event.ID (the window's trace ID).
+	PhaseFlowStart = byte('s')
+	PhaseFlowStep  = byte('t')
+	PhaseFlowEnd   = byte('f')
 )
 
 // Arg kinds.
@@ -57,7 +69,10 @@ type Event struct {
 	Dur   int64  `json:"dur,omitempty"`
 	PID   int64  `json:"pid"`
 	TID   int64  `json:"tid"`
-	Args  []Arg  `json:"args,omitempty"`
+	// ID binds flow-event triples (and async pairs) together; for the
+	// window flow arrows it is the window's causal trace ID.
+	ID   int64 `json:"id,omitempty"`
+	Args []Arg `json:"args,omitempty"`
 }
 
 // Tracer collects trace events. It is safe for concurrent use; event
@@ -101,6 +116,35 @@ func (t *Tracer) Instant(pid, tid int64, name, cat string, ts int64, args ...Arg
 // on the counter track.
 func (t *Tracer) Counter(pid int64, name string, ts int64, args ...Arg) {
 	t.record(Event{Name: name, Phase: PhaseCounter, TS: ts, PID: pid, Args: args})
+}
+
+// BeginSpan opens a nested span ("B") at an explicit timestamp; close
+// it with EndSpan at the same pid/tid. B/E pairs nest, so a parent span
+// can wrap child spans on the same thread track — the causal span trees
+// export through these.
+func (t *Tracer) BeginSpan(pid, tid int64, name, cat string, ts int64, args ...Arg) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseBegin, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// EndSpan closes the innermost open nested span ("E") on the pid/tid
+// track.
+func (t *Tracer) EndSpan(pid, tid int64, name, cat string, ts int64) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseEnd, TS: ts, PID: pid, TID: tid})
+}
+
+// FlowStart begins a flow arrow bound by id (the window's trace ID).
+func (t *Tracer) FlowStart(pid, tid int64, name, cat string, ts, id int64) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseFlowStart, TS: ts, PID: pid, TID: tid, ID: id})
+}
+
+// FlowStep continues a flow arrow on another track.
+func (t *Tracer) FlowStep(pid, tid int64, name, cat string, ts, id int64) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseFlowStep, TS: ts, PID: pid, TID: tid, ID: id})
+}
+
+// FlowEnd terminates a flow arrow, binding to the enclosing slice.
+func (t *Tracer) FlowEnd(pid, tid int64, name, cat string, ts, id int64) {
+	t.record(Event{Name: name, Cat: cat, Phase: PhaseFlowEnd, TS: ts, PID: pid, TID: tid, ID: id})
 }
 
 // Begin opens a span at the clock's current tick and returns a closer

@@ -59,6 +59,16 @@ type StreamConfig struct {
 	Trace *telemetry.Tracer
 	// TraceLabel names the session's trace tracks (default the record).
 	TraceLabel string
+	// Spans, when non-nil, captures every window's hierarchical causal
+	// span tree on the modeled timeline: trace-ID-stamped spans from
+	// acquisition end through encode, transmit, per-retransmit attempts,
+	// link transit, reorder/queue wait, the solver rung (with
+	// continuation sub-stages) and reconstruction — depth-1 leaves tile
+	// the end-to-end decode latency exactly. The tracer tail-samples
+	// anomalous windows, feeds the csecg_window_stage_seconds exemplar
+	// histograms, and seeds the receiver/flight recorder with the same
+	// trace IDs (DESIGN.md §14).
+	Spans *telemetry.CausalTracer
 	// Clock times the host-side solve for the wall-time histogram
 	// (nil → telemetry.WallClock; inject a ManualClock in tests).
 	Clock telemetry.Clock
@@ -229,6 +239,19 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	}
 	rx := coordinator.NewReceiver(dec, cfg.Transport)
 
+	spans := cfg.Spans
+	if spans != nil {
+		// One seed derives every window's trace ID identically across the
+		// span tracer, the receiver's flight-recorder captures and the
+		// monitor's /sessions links.
+		rx.SetTraceSeed(spans.Seed())
+		rx.SetShedHook(func(seq uint32) {
+			if wt := spans.Lookup(seq); wt != nil {
+				spans.FinishDropped(wt, telemetry.FlagShed)
+			}
+		})
+	}
+
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -236,7 +259,11 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	if cfg.Recorder != nil {
 		// Resolved params and mode, not the user's input: replay must
 		// rebuild exactly this decoder without re-deriving defaults.
-		cfg.Recorder.SetMeta(blackbox.NewSessionMeta("", dec.Params(), dec.Mode(), cfg.Transport))
+		meta := blackbox.NewSessionMeta("", dec.Params(), dec.Mode(), cfg.Transport)
+		if spans != nil {
+			meta.TraceSeed = spans.Seed()
+		}
+		cfg.Recorder.SetMeta(meta)
 		cfg.Recorder.AttachRegistry(reg)
 		rx.SetRecorder(cfg.Recorder)
 	}
@@ -293,7 +320,10 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 	reconstructNs := int64(coordinator.DefaultCosts().IterationTime(dec.Params(), cfg.Mode))
 	var nowNs, decodeFreeAt int64
 	var lostSoFar int64
-	rxAt := map[uint32]int64{} // per-seq arrival time of the delivered frame
+	rxAt := map[uint32]int64{}      // per-seq arrival time of the delivered frame
+	retxAttempt := map[uint32]int{} // per-seq NACK retransmission attempts served
+	lastRung := coordinator.RungNominal
+	lastCRC := 0
 
 	// noteLoss emits a loss instant when the last transmit was destroyed.
 	noteLoss := func(seq int64) {
@@ -335,6 +365,66 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			// Per-window recovery latency: acquisition end → samples ready.
 			latency := decodeFreeAt - (int64(d.Seq)+1)*windowNs
 			latHist.Observe(latency)
+			if spans != nil {
+				if wt := spans.Lookup(d.Seq); wt != nil {
+					// Close the causal tree: the depth-1 leaves must tile
+					// [acquisition end, decodeFreeAt) exactly, so the gap
+					// between the transmit frontier and the frame's arrival
+					// becomes an explicit link-transit span.
+					if f := wt.FrontierNs(); arrive > f {
+						wt.Leaf(telemetry.StageLinkTransit, f, arrive-f)
+					}
+					wt.Leaf(telemetry.StageReassemble, arrive, start-arrive)
+					si := wt.SolverLeaf(d.Res.Rung.SolverStage(), start, fistaNs, int(d.Res.Rung))
+					if iters := d.Res.StageIters; len(iters) > 1 && d.Res.Iterations > 0 && si >= 0 {
+						// Continuation sub-stages split the solve span
+						// proportionally to per-stage iteration counts; the
+						// last absorbs the rounding remainder.
+						off := start
+						rem := fistaNs
+						for i, it := range iters {
+							durS := rem
+							if i < len(iters)-1 {
+								durS = int64(float64(fistaNs) * float64(it) / float64(d.Res.Iterations))
+								if durS > rem {
+									durS = rem
+								}
+							}
+							wt.Child(si, telemetry.ContStageName(i), off, durS)
+							if tr != nil {
+								tr.BeginSpan(ses.Coordinator, tidDecode, telemetry.ContStageName(i), telemetry.CatWindow, off)
+								tr.EndSpan(ses.Coordinator, tidDecode, telemetry.ContStageName(i), telemetry.CatWindow, off+durS)
+							}
+							off += durS
+							rem -= durS
+						}
+					}
+					wt.Leaf(telemetry.StageReconstruct, start+fistaNs, reconstructNs)
+					if d.Res.Rung != lastRung {
+						wt.MarkRungChange(start, int(d.Res.Rung))
+					}
+					var flags uint32
+					if d.Bad {
+						flags |= telemetry.FlagBad
+					}
+					if d.Res.Degraded {
+						flags |= telemetry.FlagDegraded
+					}
+					if d.Res.DeadlineExpired {
+						flags |= telemetry.FlagDeadline
+					}
+					// Frame-level CRC rejects carry no trustworthy sequence
+					// number, so integrity trouble is attributed to the
+					// window finishing when the reject counter moved.
+					if rej := rx.Stats().Rejected; rej > lastCRC {
+						flags |= telemetry.FlagCRC
+						lastCRC = rej
+					}
+					wt.Mark(flags)
+					spans.Finish(wt, int(d.Res.Rung), latency)
+				}
+			}
+			lastRung = d.Res.Rung
 			sumEst += d.EstPRDN
 			estCount++
 			if d.Bad {
@@ -344,6 +434,10 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 				rep.DegradedWindows++
 			}
 			if cfg.Observer != nil {
+				var tid uint64
+				if spans != nil {
+					tid = spans.TraceID(d.Seq)
+				}
 				cfg.Observer.OnWindow(monitor.WindowStatus{
 					Seq:        d.Seq,
 					EstPRDN:    d.EstPRDN,
@@ -355,6 +449,7 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 					Rung:       d.Res.Rung,
 					LatencyNs:  latency,
 					TimelineNs: decodeFreeAt,
+					TraceID:    tid,
 				})
 			}
 			if tr != nil {
@@ -365,6 +460,11 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 					start, fistaNs, seqArg, telemetry.I("iterations", int64(d.Res.Iterations)))
 				tr.Span(ses.Coordinator, tidDecode, telemetry.StageReconstruct, telemetry.CatWindow,
 					start+fistaNs, reconstructNs, seqArg)
+				if spans != nil {
+					// Terminate the window's flow arrow on the decode slice.
+					tr.FlowEnd(ses.Coordinator, tidDecode, telemetry.FlowWindow, telemetry.CatWindow,
+						start, int64(spans.TraceID(d.Seq)))
+				}
 				traceIterations(tr, ses.Coordinator, d, start, fistaNs)
 			}
 
@@ -403,6 +503,10 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 			if tr != nil {
 				tr.Span(ses.Coordinator, tidRX, telemetry.StageRX, telemetry.CatWindow,
 					rxEnd-durNs, durNs, telemetry.I("seq", int64(p.Seq)))
+				if spans != nil {
+					tr.FlowStep(ses.Coordinator, tidRX, telemetry.FlowWindow, telemetry.CatWindow,
+						rxEnd-durNs, int64(spans.TraceID(p.Seq)))
+				}
 			}
 			out, err := rx.Push(p)
 			if err != nil {
@@ -457,6 +561,20 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 					tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
 						telemetry.I("seq", int64(pkt.Seq)), telemetry.I("retransmit", 1))
 				}
+				if spans != nil {
+					if wt := spans.Lookup(pkt.Seq); wt != nil {
+						// The gap since the window's last span is the time
+						// spent waiting for loss detection and the NACK
+						// round trip; the attempt itself is its own leaf.
+						att := retxAttempt[pkt.Seq] + 1
+						retxAttempt[pkt.Seq] = att
+						if f := wt.FrontierNs(); nowNs > f {
+							wt.Leaf(telemetry.StageRetransmitWait, f, nowNs-f)
+						}
+						wt.AttemptLeaf(telemetry.StageRetransmit, nowNs, txNs, att)
+						wt.Mark(telemetry.FlagRetransmit)
+					}
+				}
 				nowNs += txNs
 				noteLoss(int64(pkt.Seq))
 				if err := deliver(frames, nowNs, txNs); err != nil {
@@ -487,6 +605,22 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		csNs := cyclesToNs(mr.MeasureCycles + mr.ShiftCycles)
 		diffNs := cyclesToNs(mr.DiffCycles)
 		huffNs := cyclesToNs(mr.EntropyCycles + mr.FramingCycles)
+		var wt *telemetry.WindowTrace
+		if spans != nil {
+			// The causal tree is rooted at acquisition end — the moment
+			// the window's samples exist and the latency clock starts. If
+			// the mote was still transmitting the previous window, that
+			// backlog shows up as an explicit encode-wait leaf.
+			acqEnd := (w + 1) * windowNs
+			wt = spans.Begin(uint32(w))
+			wt.Root(acqEnd)
+			if nowNs > acqEnd {
+				wt.Leaf(telemetry.StageEncodeWait, acqEnd, nowNs-acqEnd)
+			}
+			wt.Leaf(telemetry.StageCSSample, nowNs, csNs)
+			wt.Leaf(telemetry.StageDiff, nowNs+csNs, diffNs)
+			wt.Leaf(telemetry.StageHuffman, nowNs+csNs+diffNs, huffNs)
+		}
 		stageHist[telemetry.StageSample].Observe(windowNs)
 		stageHist[telemetry.StageCSSample].Observe(csNs)
 		stageHist[telemetry.StageDiff].Observe(diffNs)
@@ -513,6 +647,14 @@ func RunStream(cfg StreamConfig) (*StreamReport, error) {
 		if tr != nil {
 			tr.Span(ses.Link, tidAir, telemetry.StageTX, telemetry.CatWindow, nowNs, txNs,
 				telemetry.I("seq", w))
+			if spans != nil {
+				// The window's flow arrow starts on the transmit slice.
+				tr.FlowStart(ses.Link, tidAir, telemetry.FlowWindow, telemetry.CatWindow,
+					nowNs, int64(spans.TraceID(uint32(w))))
+			}
+		}
+		if wt != nil {
+			wt.Leaf(telemetry.StageTX, nowNs, txNs)
 		}
 		nowNs += txNs
 		noteLoss(w)
