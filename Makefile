@@ -2,19 +2,38 @@
 
 GO ?= go
 
-.PHONY: check vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke triage-smoke bench perf perf-gate
+.PHONY: check vet lint vet-baseline-empty stack-budget race-analysis build test race chaos fuzz-smoke replay-smoke triage-smoke bench perf perf-gate
 
-check: vet lint vet-baseline-empty build test race chaos fuzz-smoke replay-smoke triage-smoke
+check: vet lint vet-baseline-empty stack-budget build test race race-analysis chaos fuzz-smoke replay-smoke triage-smoke
 
+# vet runs the toolchain vet plus the full csecg-vet v3 suite (interval
+# rangecheck and stackcheck included) with no baseline: the tree itself
+# must be clean.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/csecg-vet ./...
 
 # lint runs the paper-constraint analyzers (no-FPU mote path and
 # zero-alloc hot loops — both transitive through the call graph —
 # RAM/flash budgets, determinism, dropped errors, mutexes held across
-# blocking calls, goroutine shutdown paths, metric naming/export).
+# blocking calls, goroutine shutdown paths, metric naming/export, and
+# the v3 interval engine: rangecheck overflow proofs and stackcheck
+# worst-case stack bounds) against the committed baseline.
 lint:
 	$(GO) run ./cmd/csecg-vet -baseline vet-baseline.json ./...
+
+# stack-budget fails if the machine-computed worst-case device stack
+# exceeds the RAMStackMisc ledger line (DESIGN.md §15). The -stack-report
+# run prints the per-entry-point bounds for the build log.
+stack-budget:
+	$(GO) run ./cmd/csecg-vet -stack-report ./...
+	$(GO) test -run TestStackBoundCoversLedger -v ./internal/analysis/
+
+# race-analysis runs the analyzer suite (including the whole-module
+# clean gate and the stack-bound pin, which -short skips) under the race
+# detector.
+race-analysis:
+	$(GO) test -race ./internal/analysis/...
 
 # The committed baseline must stay empty: csecg-vet -write-baseline
 # exists for bisecting and bootstrapping new analyzers, but no finding

@@ -5,8 +5,13 @@
 // ledgers within the MSP430F1611 envelope), determinism (no
 // nondeterminism sources in library packages), errcheck (no dropped
 // errors), lockcheck (no blocking calls under a held mutex, consistent
-// lock ordering), leakcheck (no goroutines without a shutdown path) and
-// metriclint (metric naming, constant label sets, registry export).
+// lock ordering), leakcheck (no goroutines without a shutdown path),
+// metriclint (metric naming, constant label sets, registry export), and
+// the v3 interval-engine analyzers: rangecheck (device-side integer
+// arithmetic proven free of wraparound by abstract interpretation),
+// stackcheck (worst-case device stack per entry point asserted against
+// the RAMStackMisc ledger) and shiftidx (advisory, off by default:
+// hotpath slice indexing the interval engine cannot prove in bounds).
 //
 // Usage:
 //
@@ -30,8 +35,12 @@
 //	                 write the current findings to FILE as a baseline and
 //	                 exit 0; subsequent -baseline runs report only new
 //	                 findings
+//	-stack-report    print the worst-case stack bound of every device
+//	                 entry point (deepest first) and exit 0
 //	-<analyzer>=false
-//	                 disable one analyzer (-nofpu=false, -lockcheck=false, …)
+//	                 disable one analyzer (-nofpu=false, -lockcheck=false, …);
+//	                 advisory analyzers (shiftidx) default to off and are
+//	                 enabled the same way (-shiftidx)
 package main
 
 import (
@@ -58,10 +67,15 @@ func run(args []string) int {
 	graphOut := fs.String("graph", "", "dump the module call graph as Graphviz DOT to `file` (\"-\" for stdout)")
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in baseline `file`")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to baseline `file` and exit")
+	stackReport := fs.Bool("stack-report", false, "print the worst-case stack bound of every device entry point and exit")
 	all := analysis.Analyzers()
 	enabled := map[string]*bool{}
 	for _, a := range all {
-		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+a.Doc+")")
+		doc := "run the " + a.Name + " analyzer (" + a.Doc + ")"
+		if a.Advisory {
+			doc += " [advisory, off by default]"
+		}
+		enabled[a.Name] = fs.Bool(a.Name, !a.Advisory, doc)
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -94,6 +108,10 @@ func run(args []string) int {
 		}
 	}
 
+	if *stackReport {
+		return printStackReport(mod)
+	}
+
 	var active []*analysis.Analyzer
 	for _, a := range all {
 		if *enabled[a.Name] {
@@ -107,12 +125,19 @@ func run(args []string) int {
 	if err != nil {
 		cwd = ""
 	}
-	for i := range diags {
+	relativize := func(name string) string {
 		if cwd == "" {
-			break
+			return name
 		}
-		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].Pos.Filename = rel
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(diags[i].Pos.Filename)
+		for j := range diags[i].Related {
+			diags[i].Related[j].Pos.Filename = relativize(diags[i].Related[j].Pos.Filename)
 		}
 	}
 
@@ -173,6 +198,24 @@ func run(args []string) int {
 	}
 	if len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// printStackReport renders the machine-checked stack ledger: one line
+// per device entry point, deepest worst case first, with the realizing
+// call chain indented under each.
+func printStackReport(mod *analysis.Module) int {
+	bounds := analysis.DeviceStackBounds(mod, analysis.DefaultConfig(mod.Path))
+	for _, b := range bounds {
+		if b.Unbounded {
+			fmt.Printf("%-48s unbounded (%s)\n", b.Entry, strings.Join(b.Cycle, " → "))
+			continue
+		}
+		fmt.Printf("%-48s %5d bytes\n", b.Entry, b.Bytes)
+		for _, fr := range b.Chain {
+			fmt.Printf("    %-44s %5d\n", fr.Func, fr.Bytes)
+		}
 	}
 	return 0
 }

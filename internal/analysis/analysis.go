@@ -25,6 +25,10 @@ type Config struct {
 	// LibraryExcludePrefixes name import-path prefixes (cmd/, examples/)
 	// exempt from the determinism analyzer.
 	LibraryExcludePrefixes []string
+	// StackBudgetConst names the device-package constant (a //csecg:ram
+	// ledger line) that stackcheck asserts the worst-case static stack
+	// bound against. Empty disables the assertion.
+	StackBudgetConst string
 }
 
 // DefaultConfig returns the csecg repository scoping for a module path.
@@ -41,6 +45,7 @@ func DefaultConfig(modPath string) Config {
 			modPath + "/cmd/",
 			modPath + "/examples/",
 		},
+		StackBudgetConst: "RAMStackMisc",
 	}
 }
 
@@ -73,6 +78,16 @@ type Diagnostic struct {
 	// Suggestion, when non-empty, names the nearest allowed alternative
 	// (printed by the driver's -suggest mode).
 	Suggestion string
+	// Related holds supporting locations: the interval derivation of a
+	// rangecheck finding, or the worst-case call chain of a stackcheck
+	// finding. SARIF exports them as relatedLocations.
+	Related []Related
+}
+
+// Related is one supporting location of a finding.
+type Related struct {
+	Pos     token.Position
+	Message string
 }
 
 // String renders the canonical file:line:col: [analyzer] message form.
@@ -96,6 +111,11 @@ type Pass struct {
 // analyzer and source line so one offending expression yields one line
 // of output.
 func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
+	p.ReportRelated(pos, msg, suggestion, nil)
+}
+
+// ReportRelated is Report with supporting locations attached.
+func (p *Pass) ReportRelated(pos token.Pos, msg, suggestion string, related []Related) {
 	position := p.Fset.Position(pos)
 	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
 	if p.seen[key] {
@@ -107,6 +127,7 @@ func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
 		Analyzer:   p.Analyzer.Name,
 		Message:    msg,
 		Suggestion: suggestion,
+		Related:    related,
 	})
 }
 
@@ -119,14 +140,19 @@ type Analyzer struct {
 	Doc       string
 	Run       func(*Pass)
 	RunModule func(*ModulePass)
+	// Advisory marks hint-grade analyzers (shiftidx): findings that are
+	// honest but not always provable-clean on a correct tree. The driver
+	// leaves them off by default and the clean-tree gate skips them.
+	Advisory bool
 }
 
-// Analyzers returns the full v2 suite in reporting order: the five
+// Analyzers returns the full suite in reporting order: the five
 // original per-package analyzers (nofpu and noalloc now also carrying
-// their transitive halves) plus the three call-graph analyzers for the
-// host plane.
+// their transitive halves), the three call-graph analyzers for the
+// host plane, and the v3 interval-engine analyzers (rangecheck,
+// stackcheck, plus the advisory shiftidx).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoFPU, NoAlloc, Budget, Determinism, ErrCheck, LockCheck, LeakCheck, MetricLint}
+	return []*Analyzer{NoFPU, NoAlloc, Budget, Determinism, ErrCheck, LockCheck, LeakCheck, MetricLint, RangeCheck, StackCheck, ShiftIdx}
 }
 
 // ModulePass is one module-wide analyzer's view of the whole module:
@@ -165,6 +191,11 @@ func (p *ModulePass) NodeDirs(n *FuncNode) *Directives {
 // Report records a module-wide finding, deduplicated per analyzer and
 // source line like Pass.Report.
 func (p *ModulePass) Report(pos token.Pos, msg, suggestion string) {
+	p.ReportRelated(pos, msg, suggestion, nil)
+}
+
+// ReportRelated is Report with supporting locations attached.
+func (p *ModulePass) ReportRelated(pos token.Pos, msg, suggestion string, related []Related) {
 	position := p.Fset.Position(pos)
 	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
 	if p.seen[key] {
@@ -176,6 +207,7 @@ func (p *ModulePass) Report(pos token.Pos, msg, suggestion string) {
 		Analyzer:   p.Analyzer.Name,
 		Message:    msg,
 		Suggestion: suggestion,
+		Related:    related,
 	})
 }
 

@@ -3,36 +3,69 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
 // A Baseline is a committed list of accepted findings: adopting a new
 // analyzer on a tree with pre-existing findings would otherwise force
-// fixing everything in one change. Entries match on file, analyzer and
-// message — not line numbers, which churn with every edit — so a
-// baselined finding stays suppressed until it is actually fixed (or
-// multiplied: new instances of the same message in the same file are
-// also suppressed, the standard ratchet trade-off). The project keeps
-// its committed baseline empty (CI fails otherwise); the mechanism
-// exists for bisecting and for bootstrapping future analyzers.
+// fixing everything in one change. Entries match on a
+// position-insensitive hash of (file, analyzer, scrubbed message) —
+// line numbers churn with every edit, and v3 messages embed positions
+// of their own (interval derivations cite file:line), so the scrub
+// rewrites any file:line(:col) fragment inside the message before
+// hashing. A baselined finding therefore stays suppressed until it is
+// actually fixed (or multiplied: new instances of the same message in
+// the same file are also suppressed, the standard ratchet trade-off).
+// The project keeps its committed baseline empty (CI fails otherwise);
+// the mechanism exists for bisecting and for bootstrapping future
+// analyzers. Entries written before the hash field existed still match
+// on the exact (file, analyzer, message) triple.
 type BaselineEntry struct {
 	File     string `json:"file"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Hash is the position-insensitive entry key (see EntryHash).
+	Hash string `json:"hash,omitempty"`
+}
+
+// posRE matches file:line(:col) fragments inside messages.
+var posRE = regexp.MustCompile(`\.go:\d+(:\d+)?`)
+
+// scrubPositions rewrites embedded source positions to a fixed marker
+// so a message hash survives unrelated line shifts.
+func scrubPositions(msg string) string {
+	return posRE.ReplaceAllString(msg, ".go:#")
+}
+
+// EntryHash is the position-insensitive baseline key of one finding.
+func EntryHash(file, analyzer, message string) string {
+	h := fnv.New64a()
+	for _, s := range []string{file, analyzer, scrubPositions(message)} {
+		h.Write([]byte(s)) //csecg:errok hash.Hash Write never returns an error
+		h.Write([]byte{0}) //csecg:errok hash.Hash Write never returns an error
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // WriteBaseline writes diags as a baseline, sorted and deduplicated.
 func WriteBaseline(w io.Writer, diags []Diagnostic) error {
 	entries := make([]BaselineEntry, 0, len(diags))
-	seen := map[BaselineEntry]bool{}
+	seen := map[string]bool{}
 	for _, d := range diags {
-		e := BaselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}
-		if seen[e] {
+		e := BaselineEntry{
+			File:     d.Pos.Filename,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Hash:     EntryHash(d.Pos.Filename, d.Analyzer, d.Message),
+		}
+		if seen[e.Hash] {
 			continue
 		}
-		seen[e] = true
+		seen[e.Hash] = true
 		entries = append(entries, e)
 	}
 	sort.Slice(entries, func(i, j int) bool {
@@ -68,14 +101,22 @@ func ReadBaseline(path string) ([]BaselineEntry, error) {
 }
 
 // FilterBaseline drops findings present in the baseline and returns
-// the rest, plus the count suppressed.
+// the rest, plus the count suppressed. Hashed entries match on the
+// position-insensitive key; pre-hash entries fall back to the exact
+// (file, analyzer, message) triple.
 func FilterBaseline(diags []Diagnostic, baseline []BaselineEntry) (kept []Diagnostic, suppressed int) {
-	idx := make(map[BaselineEntry]bool, len(baseline))
+	hashes := make(map[string]bool, len(baseline))
+	exact := map[BaselineEntry]bool{}
 	for _, e := range baseline {
-		idx[e] = true
+		if e.Hash != "" {
+			hashes[e.Hash] = true
+			continue
+		}
+		exact[e] = true
 	}
 	for _, d := range diags {
-		if idx[BaselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}] {
+		if hashes[EntryHash(d.Pos.Filename, d.Analyzer, d.Message)] ||
+			exact[BaselineEntry{File: d.Pos.Filename, Analyzer: d.Analyzer, Message: d.Message}] {
 			suppressed++
 			continue
 		}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEntryHashPositionInsensitive(t *testing.T) {
+	a := EntryHash("pkg/f.go", "rangecheck", "operand derived at pkg/f.go:41:7 exceeds range")
+	b := EntryHash("pkg/f.go", "rangecheck", "operand derived at pkg/f.go:98:12 exceeds range")
+	if a != b {
+		t.Errorf("hashes differ across embedded positions: %s vs %s", a, b)
+	}
+	if c := EntryHash("pkg/g.go", "rangecheck", "operand derived at pkg/f.go:41:7 exceeds range"); c == a {
+		t.Error("hash ignores the file")
+	}
+	if c := EntryHash("pkg/f.go", "stackcheck", "operand derived at pkg/f.go:41:7 exceeds range"); c == a {
+		t.Error("hash ignores the analyzer")
+	}
+	if c := EntryHash("pkg/f.go", "rangecheck", "a different message"); c == a {
+		t.Error("hash ignores the message")
+	}
+}
+
+func TestScrubPositions(t *testing.T) {
+	in := "chain a.go:3 → b.go:14:2 → c.go:900"
+	want := "chain a.go:# → b.go:# → c.go:#"
+	if got := scrubPositions(in); got != want {
+		t.Errorf("scrubPositions = %q, want %q", got, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 10}, Analyzer: "rangecheck", Message: "int16 addition may wrap at a.go:10:5"},
+		{Pos: token.Position{Filename: "b.go", Line: 3}, Analyzer: "stackcheck", Message: "too deep"},
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("round trip kept %d entries, want 2", len(entries))
+	}
+
+	// The same findings are suppressed even after their lines move —
+	// both the reported position and the position inside the message.
+	moved := []Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 99}, Analyzer: "rangecheck", Message: "int16 addition may wrap at a.go:99:1"},
+		{Pos: token.Position{Filename: "b.go", Line: 7}, Analyzer: "stackcheck", Message: "too deep"},
+		{Pos: token.Position{Filename: "c.go", Line: 1}, Analyzer: "rangecheck", Message: "a new finding"},
+	}
+	kept, suppressed := FilterBaseline(moved, entries)
+	if suppressed != 2 || len(kept) != 1 || kept[0].Pos.Filename != "c.go" {
+		t.Errorf("FilterBaseline kept %v (suppressed %d), want only the c.go finding", kept, suppressed)
+	}
+}
+
+func TestFilterBaselinePreHashEntries(t *testing.T) {
+	// Entries written before the hash field existed match on the exact
+	// triple only.
+	entries := []BaselineEntry{{File: "a.go", Analyzer: "budget", Message: "over budget"}}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 4}, Analyzer: "budget", Message: "over budget"},
+		{Pos: token.Position{Filename: "a.go", Line: 5}, Analyzer: "budget", Message: "different"},
+	}
+	kept, suppressed := FilterBaseline(diags, entries)
+	if suppressed != 1 || len(kept) != 1 || kept[0].Message != "different" {
+		t.Errorf("pre-hash entry: kept %v (suppressed %d)", kept, suppressed)
+	}
+}

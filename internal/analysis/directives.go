@@ -37,6 +37,12 @@ import (
 //	         the analyzer cannot see (cond-wakeup, process exit)
 //	metricok metriclint waiver — dynamic metric name or unexported
 //	         registry proven intentional (export loops, benchmarks)
+//	rangeok  rangecheck/shiftidx waiver — wraparound or unprovable
+//	         index with an out-of-band bound proof (cite it in the
+//	         reason text)
+//	stackok  stackcheck waiver — call-site edge excluded from the
+//	         worst-case stack walk (proven-cold or proven-bounded
+//	         recursion the analyzer cannot see)
 //	ram      budget marker — const contributes to the RAM ledger
 //	flash    budget marker — const contributes to the flash ledger
 //	codebookflash  budget marker — const counts against both the flash

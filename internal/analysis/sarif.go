@@ -40,6 +40,11 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	// RelatedLocations carry a finding's supporting evidence — the
+	// interval derivation of a rangecheck finding or the worst-case call
+	// chain of a stackcheck finding — so code-scanning UIs render them
+	// as navigable links.
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifMessage struct {
@@ -48,6 +53,7 @@ type sarifMessage struct {
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
 }
 
 type sarifPhysical struct {
@@ -81,6 +87,16 @@ func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
 		if d.Suggestion != "" {
 			text += " (suggestion: " + d.Suggestion + ")"
 		}
+		var related []sarifLocation
+		for _, r := range d.Related {
+			related = append(related, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: r.Pos.Filename},
+					Region:           sarifRegion{StartLine: r.Pos.Line, StartColumn: r.Pos.Column},
+				},
+				Message: &sarifMessage{Text: r.Message},
+			})
+		}
 		results = append(results, sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "error",
@@ -91,6 +107,7 @@ func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer) error {
 					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 				},
 			}},
+			RelatedLocations: related,
 		})
 	}
 	log := sarifLog{

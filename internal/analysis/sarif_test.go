@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFRelatedLocations renders real rangecheck findings (from the
+// golden package) as SARIF and checks the interval derivation rides
+// along as relatedLocations with messages — the evidence trail
+// code-scanning UIs link to.
+func TestSARIFRelatedLocations(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "rangecheck")
+	const ip = "rangechecktest"
+	pkg, fset, err := LoadDir(dir, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(fset, pkg, Config{DevicePackages: []string{ip}}, []*Analyzer{RangeCheck})
+	if len(diags) == 0 {
+		t.Fatal("golden package produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != len(diags) {
+		t.Fatalf("SARIF carries %d runs / %d results, want 1 run / %d results",
+			len(log.Runs), len(log.Runs[0].Results), len(diags))
+	}
+	withRelated := 0
+	for _, r := range log.Runs[0].Results {
+		for _, rel := range r.RelatedLocations {
+			if rel.PhysicalLocation.ArtifactLocation.URI == "" || rel.PhysicalLocation.Region.StartLine == 0 {
+				t.Errorf("related location without a position: %+v", rel)
+			}
+			if rel.Message == nil || rel.Message.Text == "" {
+				t.Errorf("related location without a derivation message: %+v", rel)
+			}
+		}
+		if len(r.RelatedLocations) > 0 {
+			withRelated++
+		}
+	}
+	if withRelated == 0 {
+		t.Error("no SARIF result carries relatedLocations; the derivation plumbing is broken")
+	}
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ShiftIdx is the advisory half of the v3 interval engine: inside
+// //csecg:hotpath functions (which already ban allocation, hence also
+// the compiler's bounds-check-elimination-friendly append patterns) it
+// flags slice and array index expressions the interval engine cannot
+// prove in bounds. Unlike rangecheck it is advisory: a hotpath index
+// that depends on a cross-function invariant (a constructor-validated
+// support table) is correct but unprovable intraprocedurally, so the
+// driver leaves -shiftidx off by default and the clean-tree gate skips
+// it. Proof rules: an array index is safe when its interval fits
+// [0, len−1]; a slice index is safe when its interval is non-negative
+// and the engine holds an i < len(s) fact (a range-loop key or an
+// explicit bounds test).
+var ShiftIdx = &Analyzer{
+	Name:     "shiftidx",
+	Doc:      "advise on hotpath slice/array indexing the interval engine cannot prove in bounds",
+	Run:      runShiftIdx,
+	Advisory: true,
+}
+
+func runShiftIdx(pass *Pass) {
+	if !pass.Config.isDevice(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, fd := range pass.Dirs.hotpath {
+		if fd.Body == nil || pass.Dirs.covered("host", fd.Pos()) {
+			continue
+		}
+		hooks := flowHooks{
+			index: func(e *ast.IndexExpr, idx Interval, proven bool) {
+				if proven || pass.Dirs.covered("rangeok", e.Pos()) {
+					return
+				}
+				pass.Report(e.Pos(),
+					fmt.Sprintf("hotpath index %s[%s] not provably in bounds (index interval %s)", exprString(e.X), exprString(e.Index), idx.String()),
+					"iterate with `for i := range`, guard with an explicit `i >= 0 && i < len(s)` test, or hoist the bound into the loop condition")
+			},
+		}
+		analyzeFuncBody(pass.Pkg.Info, fd.Body, hooks)
+	}
+}

@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StackCheck turns the RAM ledger's "call stack and misc" line from a
+// hand-waved estimate into a machine-checked bound: for every exported
+// entry point of a device package it computes the worst-case stack
+// depth over the v2 call graph — per-function frames from a 16-bit
+// types.Sizes model of the MSP430 (2-byte words, 2-byte max alignment)
+// plus a fixed call overhead — and asserts the maximum against the
+// //csecg:ram budget constant named by Config.StackBudgetConst
+// (RAMStackMisc in this tree). Recursion cycles have no static bound
+// and are reported as unbounded. The worst-case call chain rides along
+// as relatedLocations so the finding is navigable.
+//
+// Model (DESIGN.md §15): a frame is receiver + params + results +
+// every local declared anywhere in the body (closures fold into the
+// enclosing declaration — an over-approximation, since Go would only
+// materialize a closure frame when called) each rounded up to the
+// 2-byte word, plus stackCallOverhead for the return address and frame
+// pointer; calls out of the module (runtime, stdlib leaves) cost a
+// flat stackExternCost. `go` statements start their own stack and are
+// excluded; a call-site edge can be waived with //csecg:stackok.
+var StackCheck = &Analyzer{
+	Name:      "stackcheck",
+	Doc:       "bound worst-case device stack per entry point against the RAM ledger, over the call graph",
+	RunModule: runStackCheckModule,
+}
+
+const (
+	// stackCallOverhead models CALL's pushed return address plus a saved
+	// frame pointer on the MSP430 (2 bytes each).
+	stackCallOverhead = 4
+	// stackExternCost is the flat charge for a callee whose body is
+	// outside the module (mote firmware links no stdlib, so these are
+	// modeling seams, not real device calls — the charge keeps the bound
+	// conservative without chasing the Go runtime).
+	stackExternCost = 48
+)
+
+// mspSizes is the 16-bit device layout model.
+var mspSizes = &types.StdSizes{WordSize: 2, MaxAlign: 2}
+
+// StackFrame is one hop of a worst-case call chain.
+type StackFrame struct {
+	Func  string
+	Pos   token.Position
+	Bytes int64
+}
+
+// StackBound is the computed worst-case stack of one device entry point.
+type StackBound struct {
+	Entry string
+	Pos   token.Position
+	// Bytes is the worst-case stack depth (0 when Unbounded).
+	Bytes     int64
+	Unbounded bool
+	// Cycle names the recursion cycle when Unbounded.
+	Cycle []string
+	// Chain is the worst-case call path, entry first.
+	Chain []StackFrame
+}
+
+// stackResult memoizes one node's worst-case cost including its own
+// frame. Memoization across contexts is safe because the graph is
+// static: a node that reaches a cycle is unbounded from everywhere.
+type stackResult struct {
+	bytes     int64
+	unbounded bool
+	cycle     []string
+	// cycleOpen tracks cycle-path reconstruction during unwind.
+	cycleOpen bool
+	cycleHead *FuncNode
+	// worst is the callee edge realizing the bound (nil for leaves).
+	worst *Edge
+}
+
+type stackChecker struct {
+	fset *token.FileSet
+	cfg  Config
+	dirs func(*Package) *Directives
+	memo map[*FuncNode]stackResult
+	on   map[*FuncNode]bool
+}
+
+// frameBytes estimates one module function's stack frame.
+func (c *stackChecker) frameBytes(n *FuncNode) int64 {
+	var total int64
+	add := func(t types.Type) {
+		sz := sizeofSafe(t)
+		total += (sz + 1) &^ 1 // round up to the 2-byte word
+	}
+	sig, _ := n.Fn.Type().(*types.Signature)
+	if sig != nil {
+		if r := sig.Recv(); r != nil {
+			add(r.Type())
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			add(sig.Params().At(i).Type())
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			add(sig.Results().At(i).Type())
+		}
+	}
+	if n.Decl != nil && n.Decl.Body != nil && n.Pkg != nil {
+		seen := map[*types.Var]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := n.Pkg.Info.Defs[id].(*types.Var); ok && !seen[v] {
+				seen[v] = true
+				add(v.Type())
+			}
+			return true
+		})
+	}
+	return total + stackCallOverhead
+}
+
+// sizeofSafe is mspSizes.Sizeof with a recover guard: types the 16-bit
+// model cannot size (unsized type parameters) fall back to one word.
+func sizeofSafe(t types.Type) (sz int64) {
+	defer func() {
+		if recover() != nil {
+			sz = 2
+		}
+	}()
+	return mspSizes.Sizeof(t)
+}
+
+// cost returns the worst-case stack of calling n (frame + deepest
+// callee), memoized.
+func (c *stackChecker) cost(n *FuncNode) stackResult {
+	if r, ok := c.memo[n]; ok {
+		return r
+	}
+	if !n.InModule() {
+		r := stackResult{bytes: stackExternCost}
+		c.memo[n] = r
+		return r
+	}
+	if c.on[n] {
+		// Recursion: unwind collecting the cycle until n reappears.
+		return stackResult{unbounded: true, cycleOpen: true, cycleHead: n, cycle: []string{n.ShortName()}}
+	}
+	c.on[n] = true
+	frame := c.frameBytes(n)
+	var worst stackResult
+	var worstEdge *Edge
+	dirs := c.dirs(n.Pkg)
+	for _, e := range n.Out {
+		if e.Go {
+			continue // new goroutine, new stack
+		}
+		if dirs != nil && dirs.covered("stackok", e.Pos) {
+			continue
+		}
+		r := c.cost(e.Callee)
+		if r.unbounded {
+			if r.cycleOpen {
+				r.cycle = append([]string{n.ShortName()}, r.cycle...)
+				if r.cycleHead == n {
+					r.cycleOpen = false
+				}
+			}
+			delete(c.on, n)
+			// Memoize only closed cycles: while the cycle is open the
+			// result depends on the path above n.
+			if !r.cycleOpen {
+				c.memo[n] = r
+			}
+			return r
+		}
+		if worstEdge == nil || r.bytes > worst.bytes {
+			worst = r
+			worstEdge = e
+		}
+	}
+	delete(c.on, n)
+	out := stackResult{bytes: frame + worst.bytes, worst: worstEdge}
+	c.memo[n] = out
+	return out
+}
+
+// chainOf reconstructs the worst-case call path from the memo.
+func (c *stackChecker) chainOf(entry *FuncNode) []StackFrame {
+	var chain []StackFrame
+	n := entry
+	for n != nil {
+		r, ok := c.memo[n]
+		if !ok {
+			break
+		}
+		bytes := int64(stackExternCost)
+		if n.InModule() {
+			bytes = c.frameBytes(n)
+		}
+		chain = append(chain, StackFrame{Func: n.ShortName(), Pos: c.fset.Position(n.Fn.Pos()), Bytes: bytes})
+		if r.worst == nil {
+			break
+		}
+		n = r.worst.Callee
+	}
+	return chain
+}
+
+// deviceEntries lists the analyzable entry points: exported functions
+// declared in device packages, excluding //csecg:host-covered ones.
+func (c *stackChecker) deviceEntries(g *CallGraph) []*FuncNode {
+	var entries []*FuncNode
+	for _, n := range g.Nodes() {
+		if !n.InModule() || n.Pkg == nil || !c.cfg.isDevice(n.Pkg.ImportPath) {
+			continue
+		}
+		if !n.Decl.Name.IsExported() {
+			continue
+		}
+		if d := c.dirs(n.Pkg); d != nil && d.covered("host", n.Decl.Pos()) {
+			continue
+		}
+		entries = append(entries, n)
+	}
+	return entries
+}
+
+// bounds computes every device entry point's StackBound, sorted by
+// descending depth (unbounded first), then name.
+func (c *stackChecker) bounds(g *CallGraph) []StackBound {
+	var out []StackBound
+	for _, n := range c.deviceEntries(g) {
+		r := c.cost(n)
+		b := StackBound{
+			Entry:     n.ShortName(),
+			Pos:       c.fset.Position(n.Decl.Pos()),
+			Bytes:     r.bytes,
+			Unbounded: r.unbounded,
+			Cycle:     r.cycle,
+		}
+		if !r.unbounded {
+			b.Chain = c.chainOf(n)
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Unbounded != b.Unbounded {
+			return a.Unbounded
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		return a.Entry < b.Entry
+	})
+	return out
+}
+
+// stackBudget locates the ledger constant named by cfg.StackBudgetConst
+// in the device packages.
+func stackBudget(mod *Module, cfg Config) (int64, token.Pos, bool) {
+	if cfg.StackBudgetConst == "" {
+		return 0, token.NoPos, false
+	}
+	for _, pkg := range mod.Pkgs {
+		if !cfg.isDevice(pkg.ImportPath) {
+			continue
+		}
+		obj, ok := pkg.Types.Scope().Lookup(cfg.StackBudgetConst).(*types.Const)
+		if !ok {
+			continue
+		}
+		if v, exact := constant.Int64Val(constant.ToInt(obj.Val())); exact {
+			return v, obj.Pos(), true
+		}
+	}
+	return 0, token.NoPos, false
+}
+
+// DeviceStackBounds computes the worst-case stack bound of every device
+// entry point — the machine-checked form of the RAMStackMisc ledger
+// line, also behind csecg-vet's -stack-report and
+// TestStackBoundCoversLedger.
+func DeviceStackBounds(mod *Module, cfg Config) []StackBound {
+	g := BuildCallGraph(mod)
+	dirs := map[string]*Directives{}
+	c := &stackChecker{
+		fset: mod.Fset,
+		cfg:  cfg,
+		dirs: func(pkg *Package) *Directives {
+			d, ok := dirs[pkg.ImportPath]
+			if !ok {
+				d = scanDirectives(mod.Fset, pkg)
+				dirs[pkg.ImportPath] = d
+			}
+			return d
+		},
+		memo: map[*FuncNode]stackResult{},
+		on:   map[*FuncNode]bool{},
+	}
+	return c.bounds(g)
+}
+
+func runStackCheckModule(pass *ModulePass) {
+	c := &stackChecker{
+		fset: pass.Fset,
+		cfg:  pass.Config,
+		dirs: pass.Dirs,
+		memo: map[*FuncNode]stackResult{},
+		on:   map[*FuncNode]bool{},
+	}
+	budget, budgetPos, haveBudget := stackBudget(pass.Module, pass.Config)
+	for _, n := range c.deviceEntries(pass.Graph) {
+		r := c.cost(n)
+		if r.unbounded {
+			pass.Report(n.Decl.Pos(),
+				fmt.Sprintf("entry point %s has no static stack bound: recursion cycle %s", n.ShortName(), strings.Join(r.cycle, " → ")),
+				"rewrite the recursion as a loop, or waive a proven-bounded call site with //csecg:stackok")
+			continue
+		}
+		if haveBudget && r.bytes > budget {
+			var rel []Related
+			for _, fr := range c.chainOf(n) {
+				rel = append(rel, Related{Pos: fr.Pos, Message: fmt.Sprintf("%s: frame %d bytes", fr.Func, fr.Bytes)})
+			}
+			rel = append(rel, Related{Pos: pass.Fset.Position(budgetPos), Message: fmt.Sprintf("budget %s = %d declared here", pass.Config.StackBudgetConst, budget)})
+			pass.ReportRelated(n.Decl.Pos(),
+				fmt.Sprintf("worst-case stack of entry point %s is %d bytes, exceeding the %s ledger of %d", n.ShortName(), r.bytes, pass.Config.StackBudgetConst, budget),
+				"shrink the deepest frames (see related locations), raise the ledger within the RAM budget, or waive a proven-cold call site with //csecg:stackok",
+				rel)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"testing"
+
+	"csecg/internal/mote"
+)
+
+// TestStackBoundCoversLedger pins the machine-checked form of the RAM
+// ledger's "call stack and misc" line: the worst-case stack bound over
+// every device entry point must fit under mote.RAMStackMisc. If a
+// refactor deepens a device call chain past the ledger, this fails
+// before csecg-vet does in CI.
+func TestStackBoundCoversLedger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := DeviceStackBounds(mod, DefaultConfig(mod.Path))
+	if len(bounds) == 0 {
+		t.Fatal("no device entry points found")
+	}
+	var deepest StackBound
+	for _, b := range bounds {
+		if b.Unbounded {
+			t.Errorf("entry point %s has no static stack bound (cycle %v)", b.Entry, b.Cycle)
+			continue
+		}
+		if b.Bytes > deepest.Bytes {
+			deepest = b
+		}
+	}
+	if deepest.Bytes == 0 {
+		t.Fatal("deepest stack bound is zero; the frame model is broken")
+	}
+	if deepest.Bytes > mote.RAMStackMisc {
+		t.Errorf("worst-case device stack %d bytes (entry %s) exceeds the RAMStackMisc ledger of %d",
+			deepest.Bytes, deepest.Entry, int(mote.RAMStackMisc))
+	}
+	if len(deepest.Chain) == 0 {
+		t.Errorf("deepest entry %s has no call chain", deepest.Entry)
+	}
+	t.Logf("deepest device stack: %s, %d bytes over %d frames (ledger %d)",
+		deepest.Entry, deepest.Bytes, len(deepest.Chain), int(mote.RAMStackMisc))
+}

@@ -1,0 +1,67 @@
+// Package shiftidxtest exercises the advisory shiftidx analyzer: hotpath
+// indexing the interval engine can and cannot prove in bounds.
+package shiftidxtest
+
+// SumProven indexes with the range key: i < len(xs) is a structural
+// fact, so the index is proven.
+//
+//csecg:hotpath per-sample accumulation
+func SumProven(xs []int16) int32 {
+	var acc int32
+	for i := range xs {
+		acc += int32(xs[i])
+	}
+	return acc
+}
+
+// Gather indexes dst with values read from another slice — correct by a
+// cross-function invariant the engine cannot see.
+//
+//csecg:hotpath scatter-add
+func Gather(dst []int32, idx []int) {
+	for _, r := range idx {
+		dst[r]++ // want "hotpath index dst\[r\] not provably in bounds"
+	}
+}
+
+// Guarded proves the index with an explicit bounds test.
+//
+//csecg:hotpath guarded lookup
+func Guarded(s []int32, i int) int32 {
+	if i >= 0 && i < len(s) {
+		return s[i]
+	}
+	return 0
+}
+
+// Table proves an array index purely by interval: the clamps refine i
+// to [0, 7], the array's exact index range.
+//
+//csecg:hotpath clamped table lookup
+func Table(i int32) int16 {
+	var lut [8]int16
+	if i < 0 {
+		i = 0
+	}
+	if i > 7 {
+		i = 7
+	}
+	return lut[i]
+}
+
+// WaivedIdx carries the invariant as a waiver instead.
+//
+//csecg:hotpath waived scatter-add
+func WaivedIdx(dst []int32, idx []int) {
+	for _, r := range idx {
+		dst[r]++ //csecg:rangeok rows validated against len(dst) at construction
+	}
+}
+
+// coldGather is the same shape as Gather but not a hotpath: the
+// advisory analyzer only inspects //csecg:hotpath functions.
+func coldGather(dst []int32, idx []int) {
+	for _, r := range idx {
+		dst[r]++
+	}
+}

@@ -1,0 +1,47 @@
+// Package stackchecktest exercises the stackcheck analyzer: recursion
+// (no static bound), a frame exceeding the ledger constant, bounded
+// entry points, and the `go` / //csecg:stackok exclusions. The golden
+// config points StackBudgetConst at stackBudget below.
+package stackchecktest
+
+// stackBudget plays the role of RAMStackMisc in the golden module.
+const stackBudget = 64
+
+// Recurse has no static stack bound. // want is on the declaration line
+// because stackcheck reports at the entry point, not the call site.
+func Recurse(n int) int { // want "entry point .*Recurse has no static stack bound: recursion cycle"
+	if n <= 0 {
+		return 0
+	}
+	return Recurse(n-1) + 1
+}
+
+// BigFrame's local array alone exceeds the 64-byte budget.
+func BigFrame() int16 { // want "worst-case stack of entry point .*BigFrame is \d+ bytes, exceeding the stackBudget ledger of 64"
+	var buf [100]int16
+	for i := range buf {
+		buf[i] = int16(i)
+	}
+	return buf[0]
+}
+
+// Small stays within budget through a leaf call.
+func Small(v int16) int16 {
+	return leaf(v)
+}
+
+func leaf(v int16) int16 {
+	return v + 0
+}
+
+// Waived calls the recursive function through a waived call site, so
+// its own bound stays finite (Recurse still reports above).
+func Waived() int {
+	return Recurse(3) //csecg:stackok depth bounded to 3 by the literal argument
+}
+
+// Spawn starts the recursion on a fresh goroutine stack: `go` edges are
+// excluded from the caller's bound.
+func Spawn() {
+	go Recurse(10)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeOneWindow runs a fresh encoder over a single constant-valued
+// window and returns the packet bytes.
+func encodeOneWindow(t *testing.T, fill int16) []byte {
+	t.Helper()
+	enc, err := NewEncoder(Params{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := make([]int16, enc.Params().N)
+	for i := range window {
+		window[i] = fill
+	}
+	pkt, err := enc.EncodeWindow(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := pkt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestEncodeWindowClampsADCRange reproduces the wraparound rangecheck
+// flagged in EncodeWindow: an out-of-range sample of −32768 used to wrap
+// the int16 centering subtraction (−32768 − ADCBaseline ≡ +31744) and
+// corrupt the measurements. With the ADC clamp, any sample below 0
+// encodes exactly like 0, and any sample above ADCMax exactly like
+// ADCMax.
+func TestEncodeWindowClampsADCRange(t *testing.T) {
+	if got, want := encodeOneWindow(t, -32768), encodeOneWindow(t, 0); !bytes.Equal(got, want) {
+		t.Error("window of −32768 encodes differently from window of 0: centering subtraction wrapped")
+	}
+	if got, want := encodeOneWindow(t, 32767), encodeOneWindow(t, ADCMax); !bytes.Equal(got, want) {
+		t.Error("window of 32767 encodes differently from window of ADCMax")
+	}
+}
+
+// TestPushSampleClampsADCRange checks the same clamp on the streaming
+// path, where the wrap would have happened inside AddMeasureInt's
+// accumulation instead.
+func TestPushSampleClampsADCRange(t *testing.T) {
+	encode := func(fill int16) []byte {
+		enc, err := NewEncoder(Params{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blob []byte
+		for i := 0; i < enc.Params().N; i++ {
+			pkt, err := enc.PushSample(fill)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pkt != nil {
+				blob, err = pkt.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if blob == nil {
+			t.Fatal("no packet after a full window of samples")
+		}
+		return blob
+	}
+	if got, want := encode(-32768), encode(0); !bytes.Equal(got, want) {
+		t.Error("streamed −32768 encodes differently from streamed 0")
+	}
+}

@@ -100,8 +100,11 @@ func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
 	if e.streamIdx != 0 {
 		return nil, fmt.Errorf("core: EncodeWindow with %d streamed samples pending", e.streamIdx) //csecg:allocok error path, never taken per-sample
 	}
-	// Stage 0: re-center (the ADC baseline carries no information).
+	// Stage 0: clamp to the ADC's physical range (out-of-range input
+	// would otherwise wrap the centering subtraction at −32768) and
+	// re-center (the baseline carries no information).
 	for i, v := range window {
+		v = min(max(v, 0), ADCMax)
 		e.centred[i] = v - ADCBaseline
 	}
 	// Stage 1: CS measurement, integer adds only.
@@ -118,6 +121,7 @@ func (e *Encoder) EncodeWindow(window []int16) (*Packet, error) {
 //
 //csecg:hotpath runs in the ADC interrupt on the real mote
 func (e *Encoder) PushSample(sample int16) (*Packet, error) {
+	sample = min(max(sample, 0), ADCMax) // see EncodeWindow's ADC clamp
 	e.phi.AddMeasureInt(e.y, e.streamIdx, sample-ADCBaseline)
 	e.streamIdx++
 	if e.streamIdx < e.p.N {
@@ -134,14 +138,20 @@ func (e *Encoder) PushSample(sample int16) (*Packet, error) {
 //csecg:hotpath completes every window on the per-sample path
 func (e *Encoder) finishWindow() (*Packet, error) {
 	// The agreed LSB drop (round-to-nearest arithmetic shift) bounds
-	// the difference range.
-	if s := uint(e.p.MeasurementShift); s > 0 {
-		half := int32(1) << (s - 1)
+	// the difference range. The rounding runs in int64: v + half wraps
+	// int32 when v is near MaxInt32, and −(−v + half) wraps outright at
+	// v = MinInt32. The local MaxMeasurementShift clamp restates
+	// withDefaults' validation where the interval engine can see it.
+	if s := e.p.MeasurementShift; s > 0 {
+		if s > MaxMeasurementShift {
+			s = MaxMeasurementShift
+		}
+		half := int64(1) << (s - 1)
 		for i, v := range e.y {
 			if v >= 0 {
-				e.y[i] = (v + half) >> s
+				e.y[i] = int32((int64(v) + half) >> s)
 			} else {
-				e.y[i] = -((-v + half) >> s)
+				e.y[i] = int32(-((-int64(v) + half) >> s))
 			}
 		}
 	}
@@ -188,7 +198,7 @@ func (e *Encoder) encodeDelta() (*Packet, error) {
 	e.symbols = e.symbols[:0]
 	e.escapes = e.escapes[:0]
 	for i, v := range e.y {
-		d := v - e.prevY[i]
+		d := v - e.prevY[i] //csecg:rangeok both operands are measurements: |y| ≤ d·ADCBaseline = 12288 after the ADC clamp (encodeKey's comment), so |d| ≤ 24576 ≪ 2³¹
 		if d >= -NumDiffSymbols/2 && d < NumDiffSymbols/2-1 {
 			e.symbols = append(e.symbols, int(d)+NumDiffSymbols/2) //csecg:allocok capacity M, preallocated
 		} else {

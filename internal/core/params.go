@@ -31,6 +31,16 @@ const (
 	// ADCBaseline is subtracted from raw 11-bit samples before
 	// measurement so the integer pipeline works on zero-centered data.
 	ADCBaseline = 1024
+	// ADCMax is the largest raw sample the 11-bit ADC can produce. The
+	// encoder clamps its input to [0, ADCMax] so every downstream
+	// interval — centering, measurement accumulation, differencing — is
+	// bounded (rangecheck proves the centering subtraction from it).
+	ADCMax = 2047
+	// MaxMeasurementShift bounds the LSB drop. withDefaults validates
+	// against it and finishWindow clamps with it locally, which is what
+	// lets the interval engine bound the rounding shift without
+	// interprocedural knowledge.
+	MaxMeasurementShift = 8
 	// NumDiffSymbols is the difference alphabet: values [−256, 255]
 	// map to symbols 0..511.
 	NumDiffSymbols = 512
@@ -121,8 +131,8 @@ func (p Params) withDefaults() (Params, error) {
 	} else if p.MeasurementShift < 0 {
 		p.MeasurementShift = 0
 	}
-	if p.MeasurementShift > 8 {
-		return p, fmt.Errorf("core: measurement shift %d out of [0, 8]", p.MeasurementShift)
+	if p.MeasurementShift > MaxMeasurementShift {
+		return p, fmt.Errorf("core: measurement shift %d out of [0, %d]", p.MeasurementShift, MaxMeasurementShift)
 	}
 	if p.Codebook == nil {
 		p.Codebook = DefaultCodebook()

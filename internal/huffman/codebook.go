@@ -16,10 +16,16 @@ const MaxCodeLen = 16
 type Codebook struct {
 	lengths []uint8  // per-symbol codeword lengths (0 = never coded)
 	codes   []uint16 // per-symbol canonical codewords, right-aligned
-	// Canonical decode tables, one entry per length 1..MaxCodeLen.
+	// Canonical decode tables, one entry per length 1..MaxCodeLen. The
+	// counters are int, not int32: a full 2¹⁶-symbol alphabet of
+	// 16-bit codes makes countByLen[16] = 65536, and the old int32
+	// accumulation in fromLengths/Decode sat 2 bits from wrapping with
+	// no guard (rangecheck flags exactly that). Decode tables live on
+	// the coordinator — only codes and lengths are serialized to flash —
+	// so the widening costs the mote ledger nothing.
 	firstCode  [MaxCodeLen + 1]uint32 // first canonical code of each length
-	firstIndex [MaxCodeLen + 1]int32  // index into symByCode of that code
-	countByLen [MaxCodeLen + 1]int32
+	firstIndex [MaxCodeLen + 1]int    // index into symByCode of that code
+	countByLen [MaxCodeLen + 1]int
 	symByCode  []uint16 // symbols sorted by (length, code)
 }
 
@@ -83,7 +89,7 @@ func fromLengths(lengths []int) (*Codebook, error) {
 	}
 	// Decode tables: first canonical code and start index per length.
 	var first uint32
-	var index int32
+	var index int
 	for l := 1; l <= MaxCodeLen; l++ {
 		cb.firstCode[l] = first
 		cb.firstIndex[l] = index
@@ -137,7 +143,7 @@ func (cb *Codebook) Decode(r *BitReader) (int, error) {
 		}
 		offset := int64(code) - int64(cb.firstCode[l])
 		if offset >= 0 && offset < int64(cnt) {
-			return int(cb.symByCode[cb.firstIndex[l]+int32(offset)]), nil
+			return int(cb.symByCode[cb.firstIndex[l]+int(offset)]), nil
 		}
 	}
 	return 0, fmt.Errorf("huffman: invalid codeword")

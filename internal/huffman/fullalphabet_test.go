@@ -1,0 +1,54 @@
+package huffman
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestDeserializeFullUint16Alphabet reproduces the counter-width hazard
+// rangecheck flagged in the decode tables: a complete 2¹⁶-symbol
+// alphabet of 16-bit codes drives countByLen[16] to 65536 and the
+// firstIndex accumulation to the full symbol count — values the old
+// int32 arithmetic approached with no guard. The all-length-16 codebook
+// is canonical with codes[i] = i, which Deserialize verifies while
+// rebuilding the tables. (Train is not used: package-merge is quadratic
+// in the alphabet and this shape needs no optimization.)
+func TestDeserializeFullUint16Alphabet(t *testing.T) {
+	const n = 1 << 16
+	data := make([]byte, SerializedSize(n))
+	binary.LittleEndian.PutUint16(data[0:], serialMagic)
+	binary.LittleEndian.PutUint16(data[2:], 0) // nsym wraps: 0 encodes 1<<16
+	for s := 0; s < n; s++ {
+		binary.LittleEndian.PutUint16(data[4+2*s:], uint16(s))
+		data[4+2*n+s] = MaxCodeLen
+	}
+	cb, err := Deserialize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.NumSymbols() != n || cb.MaxLen() != MaxCodeLen {
+		t.Fatalf("NumSymbols = %d, MaxLen = %d", cb.NumSymbols(), cb.MaxLen())
+	}
+
+	// Encode→decode through the rebuilt tables, including the last
+	// symbol, whose decode offset spans the whole 65536-entry table.
+	for _, sym := range []int{0, 1, 32767, 65534, 65535} {
+		w := NewBitWriter()
+		if err := cb.Encode(w, sym); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cb.Decode(NewBitReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding symbol %d: %v", sym, err)
+		}
+		if got != sym {
+			t.Errorf("symbol %d decodes as %d", sym, got)
+		}
+	}
+
+	// The wire form survives a round trip, n = 65536 re-encoding as 0.
+	if out := cb.Serialize(); !bytes.Equal(out, data) {
+		t.Error("serialize round trip differs")
+	}
+}

