@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+// Repro 2: state reaching the next case via fallthrough is dropped.
+func TestScratchFallthrough(t *testing.T) {
+	diags := runScratch(t, `package scratchpkg
+
+func H(n int, k int16) int16 {
+	var acc int16
+	switch {
+	case n > 0:
+		acc = 30000
+		fallthrough
+	case n < 100:
+		acc += 3000
+	}
+	return acc
+}
+`)
+	if len(diags) == 0 {
+		t.Error("repro2: expected overflow finding (30000+3000 wraps int16), got none")
+	}
+	for _, d := range diags {
+		t.Logf("repro2: %s", d)
+	}
+}
